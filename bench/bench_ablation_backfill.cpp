@@ -1,0 +1,66 @@
+// Ablation: what is backfill worth on a heterogeneous mixture?
+//
+// §3.2.1 lists Flux's scheduling policies (FCFS, backfilling, custom
+// co-scheduling). On homogeneous single-core workloads the policy barely
+// matters; on the §2-style mixture — short functions interleaved with
+// multi-node MPI jobs — a blocked MPI job at the queue head starves the
+// small tasks under strict FCFS. This ablation quantifies the gap.
+#include <iostream>
+
+#include "harness.hpp"
+#include "workloads/heterogeneous.hpp"
+
+using namespace flotilla;
+using namespace flotilla::bench;
+
+namespace {
+
+ExperimentResult run_with_depth(int backfill_depth, std::uint64_t seed) {
+  core::Session session(platform::frontier_spec(), 8, seed);
+  core::PilotManager pmgr(session);
+  auto& pilot = pmgr.submit(
+      {.nodes = 8,
+       .backends = {{.type = "flux", .partitions = 1, .nodes = 0,
+                     .flux_backfill_depth = backfill_depth}}});
+  pilot.launch([](bool, const std::string&) {});
+  session.run(600.0);
+  core::TaskManager tmgr(session, pilot.agent());
+  tmgr.on_complete([](const core::Task&) {});
+
+  // Executable-only mixture (flux rejects functions).
+  auto classes = workloads::default_mixture();
+  for (auto& cls : classes) {
+    cls.modality = platform::TaskModality::kExecutable;
+  }
+  tmgr.submit(workloads::heterogeneous_tasks(600, classes, seed));
+  session.run();
+
+  const auto& metrics = pilot.agent().profiler().metrics();
+  ExperimentResult result;
+  result.makespan = metrics.makespan();
+  result.core_util = metrics.core_utilization(pilot.total_cores());
+  result.avg_tput = metrics.avg_throughput();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: FCFS vs backfill on a heterogeneous mixture "
+               "(8 nodes, 600 tasks) ===\n";
+  Table table({"policy", "makespan [s]", "core util", "avg tput [t/s]"});
+  for (const auto& [label, depth] :
+       {std::pair{std::string("strict FCFS (depth 1)"), 1},
+        std::pair{std::string("backfill depth 8"), 8},
+        std::pair{std::string("backfill depth 64"), 64}}) {
+    const auto result = run_with_depth(depth, 42);
+    table.add_row({label, fixed(result.makespan, 0),
+                   percent(result.core_util), fixed(result.avg_tput)});
+  }
+  table.print();
+  table.write_csv("ablation_backfill.csv");
+  std::cout << "  Strict FCFS lets a blocked multi-node MPI job at the "
+               "queue head idle the\n  machine; backfill keeps the short "
+               "tasks flowing around it (§3.2.1).\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation: cost of fault tolerance.
+//
+// §3.2 claims failures are isolated per Flux instance and recovered via
+// RP-level retries. This ablation quantifies it: a 2-instance Flux pilot
+// runs an ensemble; halfway through, one broker crashes. We compare
+// no-crash, crash-with-retries, and crash-without-retries.
+#include <iostream>
+
+#include "flux/flux_backend.hpp"
+#include "harness.hpp"
+
+using namespace flotilla;
+using namespace flotilla::bench;
+
+namespace {
+
+struct FaultResult {
+  double makespan = 0.0;
+  std::uint64_t done = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t retried = 0;
+};
+
+FaultResult run_case(bool crash, int max_retries) {
+  core::Session session(platform::frontier_spec(), 8, 42);
+  core::PilotManager pmgr(session);
+  auto& pilot = pmgr.submit(
+      {.nodes = 8, .backends = {{.type = "flux", .partitions = 2}}});
+  pilot.launch([](bool, const std::string&) {});
+  session.run(120.0);
+  core::TaskManager tmgr(session, pilot.agent());
+  tmgr.on_complete([](const core::Task&) {});
+  auto tasks = workloads::uniform_tasks(448, 600.0);
+  for (auto& task : tasks) task.max_retries = max_retries;
+  tmgr.submit(std::move(tasks));
+  if (crash) {
+    session.run(session.now() + 300.0);
+    dynamic_cast<flux::FluxBackend*>(pilot.agent().backend("flux"))
+        ->crash_instance(0, "injected broker crash");
+  }
+  session.run();
+  const auto& metrics = pilot.agent().profiler().metrics();
+  return {metrics.makespan(), metrics.tasks_done(), metrics.tasks_failed(),
+          metrics.tasks_retried()};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: flux instance crash, with and without "
+               "RP retries ===\n";
+  Table table({"scenario", "done", "failed", "retried", "makespan [s]"});
+  const auto baseline = run_case(false, 3);
+  const auto with_retry = run_case(true, 3);
+  const auto no_retry = run_case(true, 0);
+  table.add_row({"no crash", std::to_string(baseline.done),
+                 std::to_string(baseline.failed),
+                 std::to_string(baseline.retried),
+                 fixed(baseline.makespan, 0)});
+  table.add_row({"crash @300s, retries=3", std::to_string(with_retry.done),
+                 std::to_string(with_retry.failed),
+                 std::to_string(with_retry.retried),
+                 fixed(with_retry.makespan, 0)});
+  table.add_row({"crash @300s, retries=0", std::to_string(no_retry.done),
+                 std::to_string(no_retry.failed),
+                 std::to_string(no_retry.retried),
+                 fixed(no_retry.makespan, 0)});
+  table.print();
+  table.write_csv("ablation_faults.csv");
+  std::cout << "  Retries turn a lost broker into makespan overhead instead "
+               "of lost tasks;\n  failures stay isolated to the crashed "
+               "instance (§4.1.3).\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 6 / Experiment flux_n: Flux throughput with 1..64 concurrent
+// instances on fixed node counts, plus the utilization claims of §4.1.3.
+//
+// Paper results to match in shape:
+//   4 nodes:    56 -> 98 tasks/s going from 1 to 4 instances
+//   16 nodes:   43 -> 195 tasks/s going from 1 to 16 instances
+//   256 nodes:  286.7 -> 302.5 tasks/s from 1 to 64 instances
+//   1024 nodes: 160.6 -> 232.9 tasks/s from 1 to 16 instances
+//   max observed throughput ~930 tasks/s (RP's flux-executor ceiling)
+//   utilization >= 94.5% up to 64 nodes; 75.4% at 1024 nodes/16 instances
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "harness.hpp"
+
+using namespace flotilla;
+using namespace flotilla::bench;
+
+namespace {
+
+ExperimentResult run_null(int nodes, int partitions) {
+  ExperimentConfig config;
+  config.label = "flux_n";
+  config.nodes = nodes;
+  config.pilot = {.nodes = nodes,
+                  .backends = {{.type = "flux", .partitions = partitions}}};
+  config.tasks =
+      workloads::uniform_tasks(workloads::paper_task_count(nodes), 0.0);
+  return run_experiment(std::move(config));
+}
+
+ExperimentResult run_dummy(int nodes, int partitions) {
+  ExperimentConfig config;
+  config.label = "flux_n_dummy";
+  config.nodes = nodes;
+  config.pilot = {.nodes = nodes,
+                  .backends = {{.type = "flux", .partitions = partitions}}};
+  config.tasks =
+      workloads::uniform_tasks(workloads::paper_task_count(nodes), 180.0);
+  return run_experiment(std::move(config));
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = std::getenv("FLOTILLA_BENCH_QUICK") != nullptr;
+  std::cout << "=== Fig 6: flux throughput vs #instances (null workload) "
+               "===\n";
+
+  struct Grid {
+    int nodes;
+    std::vector<int> partitions;
+  };
+  std::vector<Grid> grid{{4, {1, 4}}, {16, {1, 4, 16}}, {64, {1, 16, 64}}};
+  if (!quick) {
+    grid.push_back({256, {1, 64}});
+    grid.push_back({1024, {1, 16}});
+  }
+
+  double max_tput = 0.0;
+  Table table({"nodes", "instances", "avg tput [t/s]", "peak tput [t/s]",
+               "window tput [t/s]"});
+  for (const auto& g : grid) {
+    for (const int parts : g.partitions) {
+      const auto result = run_null(g.nodes, parts);
+      max_tput = std::max(max_tput, result.peak_tput);
+      table.add_row({std::to_string(g.nodes), std::to_string(parts),
+                     fixed(result.avg_tput), fixed(result.peak_tput),
+                     fixed(result.window_tput)});
+    }
+  }
+  table.print();
+  table.write_csv("fig6_flux_partitions.csv");
+  std::cout << "  max observed throughput: " << fixed(max_tput)
+            << " tasks/s (paper: up to 930, bounded by RP's flux-executor "
+               "serialization)\n";
+
+  std::cout << "\n--- flux_n utilization (dummy 180 s workload) ---\n";
+  Table util({"nodes", "instances", "core util", "paper"});
+  struct UtilPoint {
+    int nodes, parts;
+    const char* paper;
+  };
+  std::vector<UtilPoint> points{{16, 4, ">= 94.5%"}, {64, 16, ">= 94.5%"}};
+  if (!quick) points.push_back({1024, 16, "75.4%"});
+  for (const auto& p : points) {
+    const auto result = run_dummy(p.nodes, p.parts);
+    util.add_row({std::to_string(p.nodes), std::to_string(p.parts),
+                  percent(result.core_util), p.paper});
+  }
+  util.print();
+  util.write_csv("fig6_flux_utilization.csv");
+  return 0;
+}

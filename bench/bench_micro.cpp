@@ -1,0 +1,156 @@
+// Microbenchmarks (google-benchmark) of the hot paths every experiment
+// rides on: the DES engine, the queueing primitives, placement, and the
+// real threaded components.
+#include <benchmark/benchmark.h>
+
+#include "dragon/function_executor.hpp"
+#include "dragon/mpmc_queue.hpp"
+#include "dragon/shmem_channel.hpp"
+#include "platform/cluster.hpp"
+#include "platform/placement_algo.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/resource.hpp"
+#include "sim/server.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace flotilla;
+
+void BM_EngineScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < state.range(0); ++i) {
+      engine.at(static_cast<double>(i % 97), [] {});
+    }
+    engine.run();
+    benchmark::DoNotOptimize(engine.processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineScheduleAndRun)->Arg(1000)->Arg(100000);
+
+void BM_EngineCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::vector<sim::Engine::EventId> ids;
+    ids.reserve(10000);
+    for (int i = 0; i < 10000; ++i) {
+      ids.push_back(engine.at(static_cast<double>(i), [] {}));
+    }
+    for (const auto id : ids) engine.cancel(id);
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EngineCancel);
+
+void BM_ServerPipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::Server server(engine, 4);
+    for (int i = 0; i < 10000; ++i) server.submit(0.001, [] {});
+    engine.run();
+    benchmark::DoNotOptimize(server.completed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_ServerPipeline);
+
+void BM_ResourceAcquireRelease(benchmark::State& state) {
+  sim::Engine engine;
+  sim::Resource resource(engine, 64);
+  for (auto _ : state) {
+    resource.acquire(8, [&resource] { resource.release(8); });
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResourceAcquireRelease);
+
+void BM_PlacementSingleCore(benchmark::State& state) {
+  platform::Cluster cluster(platform::frontier_spec(),
+                            static_cast<int>(state.range(0)));
+  const auto range = cluster.all_nodes();
+  platform::NodeId cursor = 0;
+  std::vector<platform::Placement> held;
+  for (auto _ : state) {
+    auto placement =
+        platform::try_place(cluster, range, {1, 0, 0}, &cursor);
+    if (placement) {
+      held.push_back(std::move(*placement));
+    } else {
+      for (auto& p : held) platform::release_placement(cluster, p);
+      held.clear();
+    }
+  }
+  for (auto& p : held) platform::release_placement(cluster, p);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlacementSingleCore)->Arg(16)->Arg(1024);
+
+void BM_PlacementMpiChunks(benchmark::State& state) {
+  platform::Cluster cluster(platform::frontier_spec(), 256);
+  for (auto _ : state) {
+    auto placement =
+        platform::try_place(cluster, cluster.all_nodes(), {7168, 0, 56});
+    benchmark::DoNotOptimize(placement);
+    if (placement) platform::release_placement(cluster, *placement);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlacementMpiChunks);
+
+void BM_RngLognormal(benchmark::State& state) {
+  sim::RngStream rng(42, "bench");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.lognormal_mean_cv(0.035, 0.2));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngLognormal);
+
+void BM_RateSeriesRecord(benchmark::State& state) {
+  sim::RateSeries series(1.0);
+  double t = 0;
+  for (auto _ : state) {
+    series.record(t);
+    t += 0.01;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RateSeriesRecord);
+
+void BM_MpmcQueueSpsc(benchmark::State& state) {
+  dragon::MpmcQueue<int> queue(1024);
+  for (auto _ : state) {
+    queue.try_push(1);
+    benchmark::DoNotOptimize(queue.try_pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MpmcQueueSpsc);
+
+void BM_ShmemChannelRoundTrip(benchmark::State& state) {
+  dragon::ShmemChannel<int> channel(1024);
+  for (auto _ : state) {
+    channel.try_send(1);
+    benchmark::DoNotOptimize(channel.try_receive());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShmemChannelRoundTrip);
+
+void BM_FunctionExecutorSubmit(benchmark::State& state) {
+  dragon::FunctionExecutor executor(2);
+  for (auto _ : state) {
+    executor.submit([] { return 1; }).get();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FunctionExecutorSubmit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

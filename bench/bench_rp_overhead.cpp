@@ -1,0 +1,82 @@
+// §4's third metric, "runtime overhead", in two parts:
+//  (1) infrastructure setup time before workflow execution begins
+//      (per-backend pilot bootstrap; complements Fig 7's per-instance
+//      numbers), and
+//  (2) per-task middleware overhead — the time a task spends in RP's own
+//      pipeline (intake, scheduling, executor submission, collection)
+//      versus executing its payload, broken down per phase by the
+//      session report.
+#include <iostream>
+
+#include "analytics/session_report.hpp"
+#include "harness.hpp"
+
+using namespace flotilla;
+using namespace flotilla::bench;
+
+namespace {
+
+struct OverheadResult {
+  double bootstrap = 0.0;
+  double mean_overhead = 0.0;
+  double overhead_fraction = 0.0;
+  analytics::SessionReport report;
+};
+
+OverheadResult run_backend(const std::string& backend) {
+  core::Session session(platform::frontier_spec(), 8, 42);
+  core::PilotManager pmgr(session);
+  core::PilotDescription desc;
+  desc.nodes = 8;
+  if (backend == "flux") {
+    desc.backends = {{.type = "flux", .partitions = 2}};
+  } else {
+    desc.backends = {{backend}};
+  }
+  auto& pilot = pmgr.submit(std::move(desc));
+  OverheadResult result;
+  pilot.launch([&](bool, const std::string&) {
+    result.bootstrap = session.now();
+  });
+  session.run(600.0);
+  core::TaskManager tmgr(session, pilot.agent());
+  tmgr.on_complete([](const core::Task&) {});
+  // Moderate load: 2 waves of 60 s single-core tasks.
+  tmgr.submit(workloads::uniform_tasks(8 * 56 * 2, 60.0));
+  session.run();
+  tmgr.for_each_task(
+      [&](const core::Task& task) { result.report.add(task); });
+  result.mean_overhead = result.report.mean_overhead();
+  result.overhead_fraction = result.report.overhead_fraction();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Runtime overhead per backend (setup + per-task "
+               "middleware share) ===\n";
+  Table table({"backend", "pilot setup [s]", "mean per-task overhead [s]",
+               "overhead share"});
+  for (const std::string backend : {"srun", "flux", "dragon", "prrte"}) {
+    const auto result = run_backend(backend);
+    table.add_row({backend, fixed(result.bootstrap),
+                   fixed(result.mean_overhead, 3),
+                   percent(result.overhead_fraction)});
+    if (backend == "flux") {
+      std::cout << "\n[flux] per-phase breakdown:\n";
+      result.report.print(std::cout);
+      std::cout << "\n";
+    }
+  }
+  table.print();
+  table.write_csv("rp_overhead.csv");
+  std::cout
+      << "  Setup is dominated by backend bootstrap (Fig 7). The per-task\n"
+         "  overhead is almost entirely *launch-rate queueing* (the second\n"
+         "  task wave waits for the first to finish and for the launcher to\n"
+         "  cycle); RP's own pipeline costs are the sub-second intake and\n"
+         "  scheduling rows. srun's share is inflated by the concurrency\n"
+         "  ceiling — the same mechanism behind Fig 4's 50% plateau.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Extension bench: inference-service latency under open arrivals.
+//
+// §2 motivates "bursts of high-throughput, concurrent inference tasks" and
+// streaming pipelines that need "rapid data exchange without blocking
+// synchronization". Throughput benchmarks hide the user-visible metric for
+// such services: task *turnaround latency*. This bench drives a
+// Dragon-backed pilot with Poisson arrivals of function tasks at rising
+// rates and reports the p50/p99 turnaround — showing the saturation knee
+// as the offered load approaches the dispatcher's capacity.
+#include <iostream>
+
+#include "analytics/latency.hpp"
+#include "harness.hpp"
+#include "workloads/synthetic.hpp"
+#include "workloads/trace_replay.hpp"
+
+using namespace flotilla;
+using namespace flotilla::bench;
+
+namespace {
+
+struct LatencyResult {
+  analytics::LatencyHistogram turnaround;
+  double completed_rate = 0.0;
+};
+
+LatencyResult run_at_rate(double rate_per_s) {
+  core::Session session(platform::frontier_spec(), 16, 42);
+  core::PilotManager pmgr(session);
+  auto& pilot = pmgr.submit({.nodes = 16, .backends = {{"dragon"}}});
+  pilot.launch([](bool, const std::string&) {});
+  session.run(60.0);
+  core::TaskManager tmgr(session, pilot.agent());
+
+  LatencyResult result;
+  tmgr.on_complete([&](const core::Task& task) {
+    sim::Time submitted = 0, done = 0;
+    if (task.state_time(core::TaskState::kTmgrScheduling, submitted) &&
+        task.state_time(core::TaskState::kDone, done)) {
+      result.turnaround.record(done - submitted);
+    }
+  });
+
+  core::TaskDescription proto;
+  proto.demand.cores = 1;
+  proto.duration = 0.5;  // the inference itself
+  proto.modality = platform::TaskModality::kFunction;
+  const int n = 6000;
+  workloads::replay(tmgr, workloads::poisson_arrivals(n, rate_per_s, proto, 7),
+                    session.now());
+  session.run();
+  const auto& metrics = pilot.agent().profiler().metrics();
+  result.completed_rate = metrics.window_throughput();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Extension: inference-service turnaround latency vs "
+               "offered load (dragon, 16 nodes) ===\n";
+  Table table({"arrival rate [t/s]", "served [t/s]", "p50 [s]", "p99 [s]",
+               "max [s]"});
+  for (const double rate : {200.0, 500.0, 700.0, 850.0, 950.0, 1100.0}) {
+    const auto result = run_at_rate(rate);
+    table.add_row({fixed(rate, 0), fixed(result.completed_rate),
+                   fixed(result.turnaround.percentile(0.50), 3),
+                   fixed(result.turnaround.percentile(0.99), 3),
+                   fixed(result.turnaround.max(), 2)});
+  }
+  table.print();
+  table.write_csv("extension_streaming_latency.csv");
+  std::cout << "  Below the dispatcher's capacity, turnaround is the 0.5 s "
+               "payload plus\n  milliseconds of middleware; past the knee, "
+               "queueing delay dominates —\n  the latency-vs-throughput "
+               "trade §2's streaming use cases care about.\n";
+  return 0;
+}

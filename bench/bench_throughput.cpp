@@ -1,0 +1,97 @@
+// Figure 5 (a,b,c): average task throughput per backend vs node count.
+//
+// Null workloads (empty tasks) of n_nodes * 56 * 4 single-core tasks,
+// launched through the full RP stack with a single backend instance.
+//
+// Paper results to match in shape:
+//   (a) srun:   152 tasks/s @1 node, 61 @4, declining with allocation size
+//   (b) flux:   ~28 tasks/s @1 node, rising with node count (peak 744)
+//   (c) dragon: 343/380/204 tasks/s @4/16/64 nodes (max 622)
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "harness.hpp"
+#include "sim/stats.hpp"
+
+using namespace flotilla;
+using namespace flotilla::bench;
+
+namespace {
+
+ExperimentResult run_one(const std::string& backend, int nodes,
+                         std::uint64_t seed) {
+  ExperimentConfig config;
+  config.label = backend;
+  config.nodes = nodes;
+  config.seed = seed;
+  if (backend == "flux") {
+    config.pilot = {.nodes = nodes,
+                    .backends = {{.type = "flux", .partitions = 1}}};
+  } else {
+    config.pilot = {.nodes = nodes, .backends = {{backend}}};
+  }
+  config.tasks =
+      workloads::uniform_tasks(workloads::paper_task_count(nodes), 0.0);
+  return run_experiment(std::move(config));
+}
+
+// The paper reports "substantial throughput variability across
+// repetitions" (§4.1.2); each scale runs `repetitions` seeds and reports
+// mean +/- sd alongside the paper's average.
+void run_backend(const std::string& backend, const std::vector<int>& scales,
+                 const std::vector<std::string>& paper_avg,
+                 int repetitions) {
+  std::cout << "\n--- Fig 5: backend = " << backend << " (" << repetitions
+            << " seeds/scale) ---\n";
+  Table table({"nodes", "tasks", "window tput [t/s]", "sd", "peak tput",
+               "paper avg [t/s]"});
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    sim::Tally window, peak;
+    std::size_t tasks = 0;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      const auto result =
+          run_one(backend, scales[i], 42 + 1000 * rep);
+      window.add(result.window_tput);
+      peak.add(result.peak_tput);
+      tasks = result.tasks;
+    }
+    table.add_row({std::to_string(scales[i]), std::to_string(tasks),
+                   fixed(window.mean()), fixed(window.stddev()),
+                   fixed(peak.max()),
+                   i < paper_avg.size() ? paper_avg[i] : "-"});
+  }
+  table.print();
+  table.write_csv("fig5_throughput_" + backend + ".csv");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --backend <name> restricts to one sub-figure; default runs all three.
+  std::string only;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--backend") == 0) only = argv[i + 1];
+  }
+  // FLOTILLA_BENCH_QUICK=1 trims the largest scales for smoke runs.
+  const bool quick = std::getenv("FLOTILLA_BENCH_QUICK") != nullptr;
+
+  std::cout << "=== Fig 5: task throughput vs nodes (null workload) ===\n";
+
+  const int reps = quick ? 1 : 3;
+  if (only.empty() || only == "srun") {
+    run_backend("srun", {1, 2, 4, 16}, {"152", "~100", "61", "~20"}, reps);
+  }
+  if (only.empty() || only == "flux") {
+    std::vector<int> scales{1, 4, 16, 64, 256};
+    if (!quick) scales.push_back(1024);
+    run_backend("flux", scales,
+                {"28", "56", "~100", "~200", "287", "~300 (peak 744)"},
+                reps);
+  }
+  if (only.empty() || only == "dragon") {
+    run_backend("dragon", {1, 4, 16, 64}, {"~340", "343", "380", "204"},
+                reps);
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table 1 of the paper, encoded as data: the experiment matrix every bench
+// binary draws its configurations from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flotilla::bench {
+
+struct ExperimentRow {
+  std::string id;         // Exp ID (Table 1)
+  std::string workload;   // null / dummy(Ns) / impeccable
+  std::string launcher;   // srun / flux / dragon / flux & dragon
+  std::vector<int> nodes; // #nodes/pilot
+  std::vector<int> partitions;
+  std::string task_types;  // exec / func / exec & funcs
+  std::string n_tasks;     // formula or approximate count
+  std::string cores_per_task;
+};
+
+inline const std::vector<ExperimentRow>& table1() {
+  static const std::vector<ExperimentRow> rows = {
+      {"srun", "null, dummy(180s)", "srun", {4}, {1}, "exec",
+       "n_nodes * cpn * 4", "1"},
+      {"flux_1", "null, dummy(360s)", "flux",
+       {1, 4, 16, 64, 256, 1024}, {1}, "exec", "n_nodes * cpn * 4", "1"},
+      {"flux_n", "null, dummy(180s)", "flux", {64, 1024},
+       {1, 4, 16, 64}, "exec", "n_nodes * cpn * 4", "1"},
+      {"dragon", "null, dummy(180s)", "dragon", {1, 4, 16, 64}, {1},
+       "exec", "n_nodes * cpn * 4", "1"},
+      {"flux+dragon", "null, dummy(360s)", "flux & dragon",
+       {1, 4, 16, 64}, {1}, "exec & funcs", "n_nodes * cpn * 4", "1"},
+      {"impeccable_srun", "impeccable", "srun", {256, 1024}, {1}, "exec",
+       "~550, ~1800", "1-7168"},
+      {"impeccable_flux", "impeccable", "flux", {256, 1024}, {1}, "exec",
+       "~550, ~1800", "1-7168"},
+  };
+  return rows;
+}
+
+}  // namespace flotilla::bench

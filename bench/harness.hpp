@@ -1,0 +1,207 @@
+// Shared experiment driver for the paper-reproduction benches.
+//
+// Each bench binary reproduces one table/figure: it builds a Session +
+// Pilot for the experiment's runtime configuration, drives the workload
+// through the real middleware stack, and prints the paper's rows (also
+// appending CSV next to the binary for plotting).
+#pragma once
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/flotilla.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace flotilla::bench {
+
+struct ExperimentConfig {
+  std::string label;      // e.g. "flux_1"
+  int nodes = 4;
+  core::PilotDescription pilot;
+  std::vector<core::TaskDescription> tasks;
+  std::uint64_t seed = 42;
+};
+
+struct ExperimentResult {
+  std::string label;
+  int nodes = 0;
+  int partitions = 0;
+  std::size_t tasks = 0;
+  double avg_tput = 0.0;     // mean over nonzero 1 s bins
+  double peak_tput = 0.0;    // max 1 s bin
+  double window_tput = 0.0;  // total / launch window
+  double core_util = 0.0;
+  double gpu_util = 0.0;
+  double makespan = 0.0;
+  double bootstrap = 0.0;  // pilot ready time
+  std::uint64_t failed = 0;
+  std::uint64_t retried = 0;
+  // Kept alive for series-level post-processing (Fig 8 plots).
+  std::vector<std::uint64_t> launch_bins;
+  std::vector<double> concurrency_bins;  // sampled tasks-running per bin
+};
+
+// Runs one experiment end to end on a fresh session. The pilot allocation
+// always spans the whole modeled cluster.
+inline ExperimentResult run_experiment(ExperimentConfig config) {
+  core::Session session(platform::frontier_spec(), config.nodes,
+                        config.seed);
+  core::PilotManager pmgr(session);
+  config.pilot.nodes = config.nodes;
+  auto& pilot = pmgr.submit(std::move(config.pilot));
+
+  ExperimentResult result;
+  result.label = config.label;
+  result.nodes = config.nodes;
+  for (const auto& b : pilot.description().backends) {
+    result.partitions += b.type == "flux" ? b.partitions : 1;
+  }
+  result.tasks = config.tasks.size();
+
+  bool ready = false;
+  sim::Time ready_at = 0.0;
+  pilot.launch([&](bool ok, const std::string& error) {
+    ready = ok;
+    ready_at = session.now();
+    if (!ok) std::cerr << "pilot failed: " << error << "\n";
+  });
+  session.run(600.0);
+  if (!ready) return result;
+  result.bootstrap = ready_at;
+
+  core::TaskManager tmgr(session, pilot.agent());
+  // Sample concurrency once per simulated minute for the Fig 8 series.
+  const auto& metrics = pilot.agent().profiler().metrics();
+  std::vector<double>* conc = &result.concurrency_bins;
+  std::function<void()> sampler = [&session, &metrics, conc, &sampler,
+                                   &tmgr] {
+    conc->push_back(metrics.concurrency().value());
+    if (!tmgr.idle()) session.engine().in(60.0, sampler);
+  };
+
+  tmgr.on_complete([](const core::Task&) {});
+  tmgr.submit(std::move(config.tasks));
+  session.engine().in(0.0, sampler);
+  session.run();
+
+  result.avg_tput = metrics.avg_throughput();
+  result.peak_tput = metrics.peak_throughput();
+  result.window_tput = metrics.window_throughput();
+  result.core_util = metrics.core_utilization(pilot.total_cores());
+  result.gpu_util = metrics.gpu_utilization(pilot.total_gpus());
+  result.makespan = metrics.makespan();
+  result.failed = metrics.tasks_failed();
+  result.retried = metrics.tasks_retried();
+  result.launch_bins = metrics.launch_series().bins();
+  return result;
+}
+
+// ------------------------------------------------------------ formatting
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      os << "  ";
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+           << (c < cells.size() ? cells[c] : "");
+      }
+      os << "\n";
+    };
+    line(headers_);
+    os << "  ";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << std::string(widths[c], '-') << "  ";
+    }
+    os << "\n";
+    for (const auto& row : rows_) line(row);
+  }
+
+  void write_csv(const std::string& path) const {
+    std::ofstream out(path);
+    auto csv_line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (c) out << ',';
+        out << cells[c];
+      }
+      out << '\n';
+    };
+    csv_line(headers_);
+    for (const auto& row : rows_) csv_line(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fixed(double value, int precision = 1) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+inline std::string percent(double fraction, int precision = 1) {
+  return fixed(100.0 * fraction, precision) + "%";
+}
+
+// Simple ASCII sparkline-style series plot for Fig 8-type output.
+inline void print_series(const std::string& title,
+                         const std::vector<double>& values, double bin_width,
+                         std::ostream& os = std::cout, int height = 8,
+                         int max_cols = 72) {
+  os << "  " << title << "\n";
+  if (values.empty()) {
+    os << "    (no data)\n";
+    return;
+  }
+  // Downsample to max_cols columns by averaging.
+  const std::size_t stride =
+      std::max<std::size_t>(1, (values.size() + max_cols - 1) /
+                                   static_cast<std::size_t>(max_cols));
+  std::vector<double> cols;
+  for (std::size_t i = 0; i < values.size(); i += stride) {
+    double sum = 0;
+    std::size_t n = 0;
+    for (std::size_t j = i; j < std::min(values.size(), i + stride); ++j) {
+      sum += values[j];
+      ++n;
+    }
+    cols.push_back(sum / static_cast<double>(n));
+  }
+  double peak = 0;
+  for (const double v : cols) peak = std::max(peak, v);
+  if (peak <= 0) peak = 1;
+  for (int r = height; r >= 1; --r) {
+    const double threshold = peak * r / height;
+    os << "    " << std::setw(9) << fixed(threshold, 0) << " |";
+    for (const double v : cols) os << (v >= threshold ? '#' : ' ');
+    os << "\n";
+  }
+  os << "    " << std::setw(9) << 0 << " +" << std::string(cols.size(), '-')
+     << "\n";
+  os << "              0 .. "
+     << fixed(static_cast<double>(values.size()) * bin_width, 0) << " s ("
+     << fixed(bin_width * static_cast<double>(stride), 0) << " s/col)\n";
+}
+
+}  // namespace flotilla::bench

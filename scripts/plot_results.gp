@@ -1,0 +1,40 @@
+# Gnuplot scripts for the bench CSVs.
+#
+#   cd <dir with the CSVs> && gnuplot -c scripts/plot_results.gp
+#
+# Produces PNGs mirroring the paper's figures from the CSVs every bench
+# writes next to itself.
+set terminal pngcairo size 900,520 font "DejaVu Sans,11"
+set datafile separator ","
+set key top left
+set grid
+
+# --- Fig 5: throughput vs nodes per backend --------------------------------
+set output "fig5_throughput.png"
+set title "Fig 5: task throughput vs nodes (null workload)"
+set xlabel "nodes"; set ylabel "tasks/s"; set logscale x 2
+plot "fig5_throughput_srun.csv"   using 1:5 skip 1 with linespoints title "srun", \
+     "fig5_throughput_flux.csv"   using 1:5 skip 1 with linespoints title "flux (1 instance)", \
+     "fig5_throughput_dragon.csv" using 1:5 skip 1 with linespoints title "dragon"
+unset logscale
+
+# --- Fig 6: flux multi-instance ---------------------------------------------
+set output "fig6_flux_partitions.png"
+set title "Fig 6: flux throughput vs instances"
+set xlabel "instances"; set ylabel "tasks/s"
+plot "fig6_flux_partitions.csv" using 2:5 skip 1 with points pt 7 ps 1.5 title "window rate"
+
+# --- Fig 8: IMPECCABLE summary ----------------------------------------------
+set output "fig8_impeccable.png"
+set title "Fig 8: IMPECCABLE makespan by backend/scale"
+set style data histogram
+set style histogram cluster gap 2
+set style fill solid 0.8
+set xlabel "run"; set ylabel "makespan [s]"
+plot "fig8_impeccable.csv" using 4:xtic(sprintf("%s@%s", strcol(1), strcol(2))) skip 1 title "measured"
+
+# --- ablations ---------------------------------------------------------------
+set output "ablation_ceiling.png"
+set title "Ablation: srun concurrency ceiling vs utilization"
+set xlabel "ceiling"; set ylabel "core utilization [%]"
+plot "ablation_ceiling.csv" using 1:(strcol(2)) skip 1 with linespoints notitle

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Builds, tests, and reproduces every figure, leaving CSVs + logs in ./results.
+set -e
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+mkdir -p results && cd results
+for b in ../build/bench/bench_*; do
+  [ -f "$b" ] && [ -x "$b" ] && echo "### $b" && "$b"
+done | tee bench_output.txt

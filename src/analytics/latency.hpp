@@ -1,0 +1,43 @@
+// Latency histogram with percentile queries.
+//
+// Log-spaced buckets over [10 us, ~30 h] of virtual time — constant memory
+// regardless of sample count, ~2.3% relative bucket resolution. Backs the
+// streaming/inference latency characterization (§2's "bursts of
+// high-throughput, concurrent inference tasks" need turnaround latency,
+// not just throughput).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace flotilla::analytics {
+
+class LatencyHistogram {
+ public:
+  void record(double seconds);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? sum_ / count_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  // Value at quantile q in [0, 1], interpolated within the bucket.
+  // Returns 0 for an empty histogram.
+  double percentile(double q) const;
+
+ private:
+  static constexpr double kFloor = 1e-5;   // bucket 0 lower bound [s]
+  static constexpr double kGrowth = 1.1;   // per-bucket growth factor
+  static constexpr int kBuckets = 220;     // 1e-5 * 1.1^220 ~ 1.3e4 s
+
+  static int bucket_of(double seconds);
+  static double bucket_lower(int bucket);
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace flotilla::analytics

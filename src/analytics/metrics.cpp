@@ -1,0 +1,66 @@
+#include "analytics/metrics.hpp"
+
+#include <algorithm>
+
+namespace flotilla::analytics {
+
+void RunMetrics::on_submit(sim::Time t) {
+  first_submit_ = std::min(first_submit_, t);
+}
+
+void RunMetrics::on_launch(sim::Time t, std::int64_t cores,
+                           std::int64_t gpus) {
+  if (first_launch_ == sim::kInfiniteTime) {
+    // Anchor the busy integrals at the first launch so idle bootstrap time
+    // does not dilute utilization (matches the paper's measurement span).
+    cores_busy_.set(t, 0.0);
+    gpus_busy_.set(t, 0.0);
+    tasks_running_.set(t, 0.0);
+  }
+  first_launch_ = std::min(first_launch_, t);
+  launches_.record(t);
+  cores_busy_.add(t, static_cast<double>(cores));
+  gpus_busy_.add(t, static_cast<double>(gpus));
+  tasks_running_.add(t, 1.0);
+}
+
+void RunMetrics::on_attempt_end(sim::Time t, std::int64_t cores,
+                                std::int64_t gpus) {
+  last_completion_ = std::max(last_completion_, t);
+  completions_.record(t);
+  cores_busy_.add(t, -static_cast<double>(cores));
+  gpus_busy_.add(t, -static_cast<double>(gpus));
+  tasks_running_.add(t, -1.0);
+}
+
+void RunMetrics::on_final(sim::Time t, bool success) {
+  last_completion_ = std::max(last_completion_, t);
+  success ? ++done_ : ++failed_;
+}
+
+double RunMetrics::core_utilization(std::int64_t total_cores) const {
+  if (first_launch_ == sim::kInfiniteTime ||
+      last_completion_ <= first_launch_ || total_cores <= 0) {
+    return 0.0;
+  }
+  const double span = last_completion_ - first_launch_;
+  return cores_busy_.integral(last_completion_) /
+         (static_cast<double>(total_cores) * span);
+}
+
+double RunMetrics::gpu_utilization(std::int64_t total_gpus) const {
+  if (first_launch_ == sim::kInfiniteTime ||
+      last_completion_ <= first_launch_ || total_gpus <= 0) {
+    return 0.0;
+  }
+  const double span = last_completion_ - first_launch_;
+  return gpus_busy_.integral(last_completion_) /
+         (static_cast<double>(total_gpus) * span);
+}
+
+double RunMetrics::makespan() const {
+  if (first_submit_ == sim::kInfiniteTime) return 0.0;
+  return std::max(0.0, last_completion_ - first_submit_);
+}
+
+}  // namespace flotilla::analytics

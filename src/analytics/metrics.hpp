@@ -1,0 +1,76 @@
+// Run-level metrics, maintained online as the profiler observes task state
+// transitions. These implement the paper's three core metrics (§4):
+//
+//  - throughput: task launch events per second. `peak` = max 1 s bin,
+//    `average` = mean over nonzero bins (the paper's avg-bars convention),
+//    `window` = total / (last launch - first launch).
+//  - resource utilization: busy core(GPU)-seconds over allocated capacity
+//    across the span from first launch to last completion.
+//  - makespan: first submission to last completion.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/stats.hpp"
+
+namespace flotilla::analytics {
+
+class RunMetrics {
+ public:
+  explicit RunMetrics(sim::Time bin_width = 1.0)
+      : launches_(bin_width), completions_(bin_width) {}
+
+  void on_submit(sim::Time t);
+  // An execution attempt started on `cores`/`gpus`.
+  void on_launch(sim::Time t, std::int64_t cores, std::int64_t gpus);
+  // A *launched* attempt ended (successfully or not); releases the busy
+  // accounting taken by on_launch. Retried tasks get multiple
+  // launch/attempt-end pairs.
+  void on_attempt_end(sim::Time t, std::int64_t cores, std::int64_t gpus);
+  // The task reached a final state.
+  void on_final(sim::Time t, bool success);
+  void on_retry() { ++retried_; }
+
+  // --- throughput ---
+  double peak_throughput() const { return launches_.peak_rate(); }
+  double avg_throughput() const { return launches_.mean_nonzero_rate(); }
+  double window_throughput() const { return launches_.window_rate(); }
+  const sim::RateSeries& launch_series() const { return launches_; }
+  const sim::RateSeries& completion_series() const { return completions_; }
+
+  // --- utilization ---
+  // Fraction of `total` capacity busy between first launch and last
+  // completion.
+  double core_utilization(std::int64_t total_cores) const;
+  double gpu_utilization(std::int64_t total_gpus) const;
+
+  // --- concurrency ---
+  double peak_concurrency() const { return tasks_running_.max_value(); }
+  const sim::TimeWeighted& concurrency() const { return tasks_running_; }
+  double cores_busy_value() const { return cores_busy_.value(); }
+  double gpus_busy_value() const { return gpus_busy_.value(); }
+
+  // --- counters / spans ---
+  std::uint64_t tasks_done() const { return done_; }
+  std::uint64_t tasks_failed() const { return failed_; }
+  std::uint64_t tasks_retried() const { return retried_; }
+  sim::Time first_submit() const { return first_submit_; }
+  sim::Time first_launch() const { return first_launch_; }
+  sim::Time last_completion() const { return last_completion_; }
+  double makespan() const;
+
+ private:
+  sim::RateSeries launches_;
+  sim::RateSeries completions_;
+  sim::TimeWeighted cores_busy_;
+  sim::TimeWeighted gpus_busy_;
+  sim::TimeWeighted tasks_running_;
+  std::uint64_t done_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t retried_ = 0;
+  sim::Time first_submit_ = sim::kInfiniteTime;
+  sim::Time first_launch_ = sim::kInfiniteTime;
+  sim::Time last_completion_ = 0.0;
+};
+
+}  // namespace flotilla::analytics

@@ -1,0 +1,118 @@
+#include "analytics/session_report.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace flotilla::analytics {
+
+namespace {
+
+using core::TaskState;
+
+// Returns the first entry time of any of `states`, or false.
+bool first_of(const core::Task& task,
+              std::initializer_list<TaskState> states, sim::Time& out) {
+  for (const auto state : states) {
+    if (task.state_time(state, out)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+PhaseStats& SessionReport::phase(const std::string& name) {
+  for (auto& p : phases_) {
+    if (p.name == name) return p;
+  }
+  phases_.push_back(PhaseStats{name, {}});
+  return phases_.back();
+}
+
+void SessionReport::add(const core::Task& task) {
+  if (!core::is_final(task.state())) return;
+  ++tasks_;
+  if (task.state() != TaskState::kDone) ++failed_;
+
+  sim::Time t_submit = 0, t_final = 0;
+  if (!task.state_time(TaskState::kTmgrScheduling, t_submit)) return;
+  if (!first_of(task,
+                {TaskState::kDone, TaskState::kFailed, TaskState::kCanceled},
+                t_final)) {
+    return;
+  }
+
+  struct Edge {
+    const char* name;
+    TaskState from;
+    std::initializer_list<TaskState> to;
+  };
+  const Edge edges[] = {
+      {"tmgr_intake",
+       TaskState::kTmgrScheduling,
+       {TaskState::kStagingInput, TaskState::kAgentScheduling}},
+      {"staging_input",
+       TaskState::kStagingInput,
+       {TaskState::kAgentScheduling}},
+      {"agent_scheduling",
+       TaskState::kAgentScheduling,
+       {TaskState::kExecutorPending}},
+      {"executor_submit",
+       TaskState::kExecutorPending,
+       {TaskState::kRunning}},
+      {"execution",
+       TaskState::kRunning,
+       {TaskState::kStagingOutput, TaskState::kDone, TaskState::kFailed,
+        TaskState::kCanceled}},
+      {"staging_output", TaskState::kStagingOutput, {TaskState::kDone}},
+  };
+
+  double exec_time = 0.0;
+  double accounted = 0.0;
+  for (const auto& edge : edges) {
+    sim::Time t_from = 0, t_to = 0;
+    if (!task.state_time(edge.from, t_from)) continue;
+    if (!first_of(task, edge.to, t_to)) continue;
+    if (t_to < t_from) continue;  // retries can reorder first-entry times
+    phase(edge.name).dwell.add(t_to - t_from);
+    accounted += t_to - t_from;
+    if (std::string_view(edge.name) == "execution") exec_time = t_to - t_from;
+  }
+  execution_.add(exec_time);
+  overhead_.add(std::max(0.0, (t_final - t_submit) - exec_time));
+  (void)accounted;
+}
+
+double SessionReport::mean_overhead() const { return overhead_.mean(); }
+double SessionReport::mean_execution() const { return execution_.mean(); }
+
+double SessionReport::overhead_fraction() const {
+  const double total = overhead_.mean() + execution_.mean();
+  return total > 0.0 ? overhead_.mean() / total : 0.0;
+}
+
+void SessionReport::print(std::ostream& os) const {
+  os << "session report: " << tasks_ << " tasks (" << failed_
+     << " failed)\n";
+  os << "  " << std::left << std::setw(18) << "phase" << std::right
+     << std::setw(12) << "mean [s]" << std::setw(12) << "max [s]"
+     << std::setw(10) << "samples" << "\n";
+  for (const auto& p : phases_) {
+    os << "  " << std::left << std::setw(18) << p.name << std::right
+       << std::fixed << std::setprecision(4) << std::setw(12)
+       << p.dwell.mean() << std::setw(12) << p.dwell.max() << std::setw(10)
+       << p.dwell.count() << "\n";
+  }
+  os << "  mean middleware overhead per task: " << std::setprecision(4)
+     << mean_overhead() << " s (" << std::setprecision(2)
+     << 100.0 * overhead_fraction() << "% of task lifetime)\n";
+}
+
+void SessionReport::write_csv(std::ostream& os) const {
+  os << "phase,mean_s,max_s,samples\n";
+  for (const auto& p : phases_) {
+    os << p.name << ',' << p.dwell.mean() << ',' << p.dwell.max() << ','
+       << p.dwell.count() << '\n';
+  }
+}
+
+}  // namespace flotilla::analytics

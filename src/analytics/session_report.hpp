@@ -1,0 +1,59 @@
+// Session report: RADICAL-Analytics-style post-mortem breakdown.
+//
+// §3.2.1: "Through the RADICAL-Analytics profiling capabilities, events
+// such as task submission timestamps ... are recorded, supporting the
+// fine-grained characterization of workflow performance." This module
+// turns the recorded task lifecycles into the classic RA breakdown: time
+// per pipeline phase, middleware overhead vs payload execution, and a
+// formatted report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/task.hpp"
+#include "sim/stats.hpp"
+
+namespace flotilla::analytics {
+
+// Dwell-time statistics for one pipeline phase, aggregated over tasks.
+struct PhaseStats {
+  std::string name;
+  sim::Tally dwell;  // seconds spent in the phase (first-entry based)
+};
+
+class SessionReport {
+ public:
+  // Ingests one finished task's lifecycle. Tasks that never reached a
+  // final state are skipped.
+  void add(const core::Task& task);
+
+  const std::vector<PhaseStats>& phases() const { return phases_; }
+
+  std::size_t tasks() const { return tasks_; }
+  std::size_t failed() const { return failed_; }
+
+  // Mean middleware overhead per task: everything before/after the payload
+  // (intake, staging, scheduling, executor submission, collection).
+  double mean_overhead() const;
+  // Mean payload execution time per task.
+  double mean_execution() const;
+  // overhead / (overhead + execution); the paper's "runtime overhead"
+  // metric normalized per task.
+  double overhead_fraction() const;
+
+  void print(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+
+ private:
+  PhaseStats& phase(const std::string& name);
+
+  std::vector<PhaseStats> phases_;
+  sim::Tally overhead_;
+  sim::Tally execution_;
+  std::size_t tasks_ = 0;
+  std::size_t failed_ = 0;
+};
+
+}  // namespace flotilla::analytics

@@ -1,0 +1,104 @@
+#include "analytics/timeline.hpp"
+
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace flotilla::analytics {
+
+Timeline::Timeline(sim::Engine& engine, const RunMetrics& metrics,
+                   sim::Time period)
+    : engine_(engine), metrics_(metrics), period_(period) {
+  FLOT_CHECK(period > 0.0, "timeline period must be positive");
+}
+
+void Timeline::start(std::function<bool()> keep_going) {
+  FLOT_CHECK(!started_, "timeline started twice");
+  started_ = true;
+  keep_going_ = std::move(keep_going);
+  tick();
+}
+
+void Timeline::tick() {
+  if (stopped_) return;
+  TimelineSample sample;
+  sample.time = engine_.now();
+  sample.tasks_running = metrics_.concurrency().value();
+  sample.cores_busy = metrics_.cores_busy_value();
+  sample.gpus_busy = metrics_.gpus_busy_value();
+  sample.launches_total = metrics_.launch_series().total();
+  samples_.push_back(sample);
+  if (keep_going_ && !keep_going_()) return;
+  engine_.in(period_, [this] { tick(); });
+}
+
+std::vector<double> Timeline::running_series() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.tasks_running);
+  return out;
+}
+
+std::vector<double> Timeline::launch_rate_series() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  std::uint64_t prev = 0;
+  for (const auto& s : samples_) {
+    out.push_back(static_cast<double>(s.launches_total - prev) / period_);
+    prev = s.launches_total;
+  }
+  return out;
+}
+
+void Timeline::write_csv(std::ostream& os) const {
+  os << "time,tasks_running,cores_busy,gpus_busy,launches_total\n";
+  for (const auto& s : samples_) {
+    os << s.time << ',' << s.tasks_running << ',' << s.cores_busy << ','
+       << s.gpus_busy << ',' << s.launches_total << '\n';
+  }
+}
+
+std::vector<StepStats> step_report(const Timeline& timeline,
+                                   sim::Time step_duration) {
+  FLOT_CHECK(step_duration > 0.0, "step duration must be positive");
+  std::vector<StepStats> steps;
+  const auto& samples = timeline.samples();
+  if (samples.empty()) return steps;
+  const sim::Time t0 = samples.front().time;
+  std::uint64_t launches_before = samples.front().launches_total;
+  StepStats current;
+  current.begin = t0;
+  current.end = t0 + step_duration;
+  int n = 0;
+  auto flush = [&](std::uint64_t launches_now) {
+    if (n > 0) {
+      current.mean_tasks_running /= n;
+      current.mean_cores_busy /= n;
+      current.mean_gpus_busy /= n;
+    }
+    current.launches = launches_now - launches_before;
+    launches_before = launches_now;
+    steps.push_back(current);
+  };
+  std::uint64_t last_total = launches_before;
+  for (const auto& sample : samples) {
+    while (sample.time >= current.end) {
+      flush(last_total);
+      ++current.step;
+      current.begin = current.end;
+      current.end += step_duration;
+      current.mean_tasks_running = current.mean_cores_busy =
+          current.mean_gpus_busy = 0.0;
+      n = 0;
+    }
+    current.mean_tasks_running += sample.tasks_running;
+    current.mean_cores_busy += sample.cores_busy;
+    current.mean_gpus_busy += sample.gpus_busy;
+    last_total = sample.launches_total;
+    ++n;
+  }
+  flush(last_total);
+  return steps;
+}
+
+}  // namespace flotilla::analytics

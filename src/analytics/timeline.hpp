@@ -1,0 +1,73 @@
+// Timeline sampler: periodic snapshots of run metrics over virtual time.
+//
+// Backs the Fig 4/Fig 8-style time-series plots (tasks running, cores
+// busy, launch rate) without per-task tracing: a self-rescheduling sampler
+// reads the live RunMetrics every `period` until stopped or idle.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "analytics/metrics.hpp"
+#include "sim/engine.hpp"
+
+namespace flotilla::analytics {
+
+struct TimelineSample {
+  sim::Time time = 0.0;
+  double tasks_running = 0.0;
+  double cores_busy = 0.0;
+  double gpus_busy = 0.0;
+  std::uint64_t launches_total = 0;
+};
+
+class Timeline {
+ public:
+  // Samples `metrics` every `period` virtual seconds, starting now.
+  // `keep_going` stops the sampler when it returns false (e.g.
+  // [&]{ return !tmgr.idle(); }); without one the sampler keeps the
+  // engine alive until stop() is called.
+  Timeline(sim::Engine& engine, const RunMetrics& metrics,
+           sim::Time period = 60.0);
+
+  void start(std::function<bool()> keep_going = {});
+  void stop() { stopped_ = true; }
+
+  const std::vector<TimelineSample>& samples() const { return samples_; }
+
+  // Convenience extractors for plotting.
+  std::vector<double> running_series() const;
+  std::vector<double> launch_rate_series() const;  // per-period rates
+
+  void write_csv(std::ostream& os) const;
+
+ private:
+  void tick();
+
+  sim::Engine& engine_;
+  const RunMetrics& metrics_;
+  sim::Time period_;
+  std::function<bool()> keep_going_;
+  std::vector<TimelineSample> samples_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+// Windowed summary over a timeline: chunks the samples into fixed steps
+// (the paper reports IMPECCABLE utilization "during the first four 12-hour
+// steps") and reports per-step means.
+struct StepStats {
+  int step = 0;
+  sim::Time begin = 0.0;
+  sim::Time end = 0.0;
+  double mean_tasks_running = 0.0;
+  double mean_cores_busy = 0.0;
+  double mean_gpus_busy = 0.0;
+  std::uint64_t launches = 0;
+};
+
+std::vector<StepStats> step_report(const Timeline& timeline,
+                                   sim::Time step_duration);
+
+}  // namespace flotilla::analytics

@@ -1,0 +1,23 @@
+// Umbrella header: the Flotilla public API.
+//
+//   #include "core/flotilla.hpp"
+//
+//   flotilla::core::Session session(flotilla::platform::frontier_spec(), 64);
+//   flotilla::core::PilotManager pmgr(session);
+//   auto& pilot = pmgr.submit({.nodes = 64, .backends = {{"flux", 4}}});
+//   pilot.launch(...);
+//   flotilla::core::TaskManager tmgr(session, pilot.agent());
+//   tmgr.submit(...);
+//   session.run();
+//
+// See examples/quickstart.cpp for a complete program.
+#pragma once
+
+#include "core/agent.hpp"
+#include "core/asyncflow.hpp"
+#include "core/pilot.hpp"
+#include "core/profiler.hpp"
+#include "core/session.hpp"
+#include "core/task.hpp"
+#include "core/task_manager.hpp"
+#include "core/workflow.hpp"

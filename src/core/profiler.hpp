@@ -1,0 +1,38 @@
+// Profiler: RADICAL-Analytics-style event recording plus online metrics.
+//
+// Components report task lifecycle moments; the profiler appends trace
+// records (when per-task tracing is enabled) and keeps RunMetrics current.
+// Per-task tracing is off by default because paper-scale runs launch up to
+// 229,376 tasks; metrics are always maintained.
+#pragma once
+
+#include "analytics/metrics.hpp"
+#include "core/session.hpp"
+#include "core/task.hpp"
+
+namespace flotilla::core {
+
+class Profiler {
+ public:
+  explicit Profiler(Session& session, bool trace_tasks = false)
+      : session_(session), trace_tasks_(trace_tasks) {}
+
+  analytics::RunMetrics& metrics() { return metrics_; }
+  const analytics::RunMetrics& metrics() const { return metrics_; }
+
+  void submitted(const Task& task);
+  void state_change(const Task& task);  // after Task::advance
+  void launched(const Task& task);
+  void attempt_ended(const Task& task);
+  void retried(const Task& task);
+  void finalized(const Task& task, bool success);
+
+ private:
+  void record(const Task& task, const char* event);
+
+  Session& session_;
+  analytics::RunMetrics metrics_;
+  bool trace_tasks_;
+};
+
+}  // namespace flotilla::core

@@ -1,0 +1,52 @@
+// Session: the root object of a Flotilla run.
+//
+// Owns the simulation engine, the cluster model, the calibration profile,
+// the trace, and id generation — everything components need shared access
+// to. Mirrors radical.pilot.Session as the umbrella for pilot and task
+// managers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "platform/calibration.hpp"
+#include "platform/cluster.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "util/config.hpp"
+#include "util/id_registry.hpp"
+
+namespace flotilla::core {
+
+class Session {
+ public:
+  // `num_nodes` sizes the modeled machine (the job allocation lives inside
+  // it); `seed` drives every random stream deterministically.
+  Session(platform::PlatformSpec spec, int num_nodes, std::uint64_t seed = 42,
+          platform::Calibration calibration =
+              platform::frontier_calibration());
+
+  sim::Engine& engine() { return engine_; }
+  platform::Cluster& cluster() { return cluster_; }
+  const platform::Calibration& calibration() const { return calibration_; }
+  sim::Trace& trace() { return trace_; }
+  util::IdRegistry& ids() { return ids_; }
+  std::uint64_t seed() const { return seed_; }
+  const std::string& uid() const { return uid_; }
+
+  // Runs the simulation until the event queue drains (or `until`).
+  void run(sim::Time until = sim::kInfiniteTime) { engine_.run(until); }
+  sim::Time now() const { return engine_.now(); }
+
+ private:
+  sim::Engine engine_;
+  platform::Cluster cluster_;
+  platform::Calibration calibration_;
+  sim::Trace trace_;
+  util::IdRegistry ids_;
+  std::uint64_t seed_;
+  std::string uid_;
+};
+
+}  // namespace flotilla::core

@@ -1,0 +1,86 @@
+#include "core/task.hpp"
+
+#include "util/error.hpp"
+
+namespace flotilla::core {
+
+std::string_view to_string(TaskState state) {
+  switch (state) {
+    case TaskState::kNew:
+      return "NEW";
+    case TaskState::kTmgrScheduling:
+      return "TMGR_SCHEDULING";
+    case TaskState::kStagingInput:
+      return "AGENT_STAGING_INPUT";
+    case TaskState::kAgentScheduling:
+      return "AGENT_SCHEDULING";
+    case TaskState::kExecutorPending:
+      return "EXECUTOR_PENDING";
+    case TaskState::kRunning:
+      return "RUNNING";
+    case TaskState::kStagingOutput:
+      return "AGENT_STAGING_OUTPUT";
+    case TaskState::kDone:
+      return "DONE";
+    case TaskState::kFailed:
+      return "FAILED";
+    case TaskState::kCanceled:
+      return "CANCELED";
+  }
+  return "?";
+}
+
+bool is_final(TaskState state) {
+  return state == TaskState::kDone || state == TaskState::kFailed ||
+         state == TaskState::kCanceled;
+}
+
+namespace {
+
+bool valid_transition(TaskState from, TaskState to) {
+  if (is_final(from)) return false;
+  if (to == TaskState::kCanceled || to == TaskState::kFailed) return true;
+  switch (from) {
+    case TaskState::kNew:
+      return to == TaskState::kTmgrScheduling;
+    case TaskState::kTmgrScheduling:
+      // Staging-input is optional (tasks without input data skip it).
+      return to == TaskState::kStagingInput ||
+             to == TaskState::kAgentScheduling;
+    case TaskState::kStagingInput:
+      return to == TaskState::kAgentScheduling;
+    case TaskState::kAgentScheduling:
+      return to == TaskState::kExecutorPending;
+    case TaskState::kExecutorPending:
+      // Retry edge: a backend may reject/lose the task before it ran.
+      return to == TaskState::kRunning || to == TaskState::kAgentScheduling;
+    case TaskState::kRunning:
+      // Staging-output is optional; retry edge goes back to the agent
+      // scheduler.
+      return to == TaskState::kStagingOutput || to == TaskState::kDone ||
+             to == TaskState::kAgentScheduling;
+    case TaskState::kStagingOutput:
+      return to == TaskState::kDone;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void Task::advance(TaskState next, sim::Time now) {
+  FLOT_CHECK(valid_transition(state_, next), "task ", uid_,
+             ": invalid transition ", to_string(state_), " -> ",
+             to_string(next));
+  state_ = next;
+  state_times_.emplace(next, now);  // keep the *first* entry time
+}
+
+bool Task::state_time(TaskState state, sim::Time& out) const {
+  const auto it = state_times_.find(state);
+  if (it == state_times_.end()) return false;
+  out = it->second;
+  return true;
+}
+
+}  // namespace flotilla::core

@@ -1,0 +1,107 @@
+// Task model: description + state machine, mirroring RADICAL-Pilot's task
+// abstraction (§3). Every task — executable or function, routed to any
+// backend — passes through the same lifecycle, which is what lets RP keep
+// uniform profiling and failure handling across execution substrates.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "platform/backend.hpp"
+#include "platform/types.hpp"
+#include "sim/engine.hpp"
+
+namespace flotilla::core {
+
+// User-facing description; immutable once submitted.
+struct TaskDescription {
+  std::string name;  // optional human label (e.g. "docking.12")
+  platform::ResourceDemand demand;
+  sim::Time duration = 0.0;  // synthetic payload runtime (0 = null task)
+  platform::TaskModality modality = platform::TaskModality::kExecutable;
+  // "": let the router decide; otherwise a backend name ("srun", "flux",
+  // "dragon") that must accept the task's modality.
+  std::string backend_hint;
+  int max_retries = 0;          // §4.2: "basic fault tolerance via retries"
+  double fail_probability = 0;  // fault-injection knob
+  std::string stage;            // workflow stage tag (analytics/grouping)
+  // Data staged through the shared filesystem before/after execution
+  // (Fig 1: StagerInput / StagerOutput). 0 skips the staging states.
+  double input_mb = 0.0;
+  double output_mb = 0.0;
+  // Co-scheduling: tasks sharing a non-empty gang tag (with gang_size
+  // members) are placed atomically and started together. Requires a
+  // backend with co-scheduling support (Flux).
+  std::string gang;
+  int gang_size = 0;
+  // Scheduling urgency (Flux semantics: 0..31, default 16; higher is
+  // considered first). Honored by backends with priority queues (Flux).
+  int priority = 16;
+};
+
+enum class TaskState {
+  kNew,              // described, not yet accepted
+  kTmgrScheduling,   // in the task manager pipeline
+  kStagingInput,     // input data moving through the stager
+  kAgentScheduling,  // agent scheduler deciding backend/queue
+  kExecutorPending,  // serialized toward a backend
+  kRunning,          // payload executing
+  kStagingOutput,    // output data moving through the stager
+  kDone,             // final: success
+  kFailed,           // final: exhausted retries or unrecoverable
+  kCanceled,         // final: canceled by the user or shutdown
+};
+
+std::string_view to_string(TaskState state);
+bool is_final(TaskState state);
+
+// Runtime object tracked by the session. Transitions are validated: a task
+// can only move forward, except for the retry edge Running/ExecutorPending
+// -> AgentScheduling.
+class Task {
+ public:
+  Task(std::string uid, TaskDescription description)
+      : uid_(std::move(uid)), description_(std::move(description)) {}
+
+  const std::string& uid() const { return uid_; }
+  const TaskDescription& description() const { return description_; }
+
+  TaskState state() const { return state_; }
+  void advance(TaskState next, sim::Time now);
+
+  // Time of first entry into `state`; returns false if never entered.
+  bool state_time(TaskState state, sim::Time& out) const;
+
+  int attempts() const { return attempts_; }
+  void begin_attempt() { ++attempts_; }
+
+  const std::string& backend() const { return backend_; }
+  void set_backend(std::string backend) { backend_ = std::move(backend); }
+
+  const std::string& error() const { return error_; }
+  void set_error(std::string error) { error_ = std::move(error); }
+
+  // Whether the *current* attempt reached execution; reset on retry.
+  bool launched() const { return launched_; }
+  void mark_launched() { launched_ = true; }
+  void clear_launched() { launched_ = false; }
+
+  // Cooperative cancellation: the flag is honored at the next lifecycle
+  // point (backends cannot preempt a running payload).
+  bool cancel_requested() const { return cancel_requested_; }
+  void request_cancel() { cancel_requested_ = true; }
+
+ private:
+  std::string uid_;
+  TaskDescription description_;
+  TaskState state_ = TaskState::kNew;
+  std::map<TaskState, sim::Time> state_times_;
+  std::string backend_;
+  std::string error_;
+  int attempts_ = 0;
+  bool launched_ = false;
+  bool cancel_requested_ = false;
+};
+
+}  // namespace flotilla::core

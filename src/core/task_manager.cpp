@@ -1,0 +1,62 @@
+#include "core/task_manager.hpp"
+
+#include "util/error.hpp"
+
+namespace flotilla::core {
+
+TaskManager::TaskManager(Session& session, Agent& agent)
+    : session_(session),
+      agent_(agent),
+      rng_(session.seed(), "tmgr"),
+      intake_(session.engine(), 1) {
+  agent_.on_task_final([this](const Task& task) {
+    ++finished_;
+    if (completion_handler_) completion_handler_(task);
+  });
+}
+
+std::string TaskManager::submit(TaskDescription description) {
+  const std::string uid = session_.ids().next("task");
+  auto task = std::make_shared<Task>(uid, std::move(description));
+  tasks_.emplace(uid, task);
+  ++total_submitted_;
+  agent_.profiler().submitted(*task);
+  const auto& cal = session_.calibration().core;
+  task->advance(TaskState::kTmgrScheduling, session_.now());
+  intake_.submit(rng_.lognormal_mean_cv(cal.tmgr_task_cost, cal.jitter_cv),
+                 [this, task = std::move(task)]() mutable {
+                   agent_.execute(std::move(task));
+                 });
+  return uid;
+}
+
+std::vector<std::string> TaskManager::submit(
+    std::vector<TaskDescription> descriptions) {
+  std::vector<std::string> uids;
+  uids.reserve(descriptions.size());
+  for (auto& description : descriptions) {
+    uids.push_back(submit(std::move(description)));
+  }
+  return uids;
+}
+
+bool TaskManager::cancel(const std::string& uid) {
+  const auto it = tasks_.find(uid);
+  if (it == tasks_.end() || is_final(it->second->state())) return false;
+  // A task still in TMGR intake has not reached the agent; flag it and the
+  // agent will cancel it on arrival.
+  if (it->second->state() == TaskState::kTmgrScheduling ||
+      it->second->state() == TaskState::kStagingInput) {
+    it->second->request_cancel();
+    return true;
+  }
+  return agent_.cancel(uid);
+}
+
+const Task& TaskManager::task(const std::string& uid) const {
+  const auto it = tasks_.find(uid);
+  FLOT_CHECK(it != tasks_.end(), "unknown task ", uid);
+  return *it->second;
+}
+
+}  // namespace flotilla::core

@@ -1,0 +1,66 @@
+// TaskManager: the user-facing task API (Fig 1 ①②).
+//
+// Accepts task descriptions, assigns uids, runs them through the TMGR
+// pipeline (a serialized intake component with a calibrated per-task cost)
+// and hands them to a pilot's agent. Completion callbacks fire once per
+// task on a final state.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/agent.hpp"
+#include "core/session.hpp"
+#include "core/task.hpp"
+#include "sim/random.hpp"
+#include "sim/server.hpp"
+
+namespace flotilla::core {
+
+class TaskManager {
+ public:
+  using TaskHandler = std::function<void(const Task&)>;
+
+  TaskManager(Session& session, Agent& agent);
+
+  // Submits one task; returns its uid.
+  std::string submit(TaskDescription description);
+  std::vector<std::string> submit(std::vector<TaskDescription> descriptions);
+
+  // Fires on every task reaching a final state.
+  void on_complete(TaskHandler handler) {
+    completion_handler_ = std::move(handler);
+  }
+
+  const Task& task(const std::string& uid) const;
+
+  // Requests cancellation (cooperative; see Agent::cancel). Returns false
+  // for unknown or already-final tasks.
+  bool cancel(const std::string& uid);
+
+  Agent& agent() { return agent_; }
+  Session& session() { return session_; }
+
+  // Visits every task ever submitted (analytics/reporting).
+  void for_each_task(const std::function<void(const Task&)>& fn) const {
+    for (const auto& [uid, task] : tasks_) fn(*task);
+  }
+  std::size_t submitted() const { return total_submitted_; }
+  std::size_t finished() const { return finished_; }
+  bool idle() const { return finished_ == total_submitted_; }
+
+ private:
+  Session& session_;
+  Agent& agent_;
+  sim::RngStream rng_;
+  sim::Server intake_;
+  std::unordered_map<std::string, std::shared_ptr<Task>> tasks_;
+  TaskHandler completion_handler_;
+  std::size_t total_submitted_ = 0;
+  std::size_t finished_ = 0;
+};
+
+}  // namespace flotilla::core

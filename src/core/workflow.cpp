@@ -1,0 +1,97 @@
+#include "core/workflow.hpp"
+
+#include "util/error.hpp"
+
+namespace flotilla::core {
+
+Workflow::Workflow(TaskManager& tmgr) : tmgr_(tmgr) {
+  tmgr_.on_complete([this](const Task& task) { handle_completion(task); });
+}
+
+void Workflow::add_stage(std::string name,
+                         std::vector<TaskDescription> tasks,
+                         std::vector<std::string> deps) {
+  FLOT_CHECK(!stages_.count(name), "duplicate stage '", name, "'");
+  FLOT_CHECK(!tasks.empty(), "stage '", name, "' has no tasks");
+  for (const auto& dep : deps) {
+    FLOT_CHECK(stages_.count(dep), "stage '", name, "' depends on unknown '",
+               dep, "'");
+  }
+  Stage stage;
+  stage.remaining = tasks.size();
+  stage.tasks = std::move(tasks);
+  stage.deps = std::move(deps);
+  const auto [it, inserted] = stages_.emplace(std::move(name), std::move(stage));
+  (void)inserted;
+  if (started_) maybe_submit(it->first);
+}
+
+void Workflow::start() {
+  FLOT_CHECK(!started_, "workflow started twice");
+  started_ = true;
+  // Copy names first: submissions can complete stages synchronously in
+  // degenerate cases and mutate the map's values.
+  std::vector<std::string> names;
+  names.reserve(stages_.size());
+  for (const auto& [name, stage] : stages_) names.push_back(name);
+  for (const auto& name : names) maybe_submit(name);
+}
+
+bool Workflow::deps_met(const Stage& stage) const {
+  for (const auto& dep : stage.deps) {
+    const auto it = stages_.find(dep);
+    if (it == stages_.end() || !it->second.complete) return false;
+  }
+  return true;
+}
+
+void Workflow::maybe_submit(const std::string& name) {
+  auto& stage = stages_.at(name);
+  if (stage.submitted || !deps_met(stage)) return;
+  stage.submitted = true;
+  for (auto& description : stage.tasks) {
+    if (description.stage.empty()) description.stage = name;
+    const auto uid = tmgr_.submit(std::move(description));
+    task_stage_.emplace(uid, name);
+  }
+  stage.tasks.clear();
+}
+
+bool Workflow::stage_complete(const std::string& name) const {
+  const auto it = stages_.find(name);
+  return it != stages_.end() && it->second.complete;
+}
+
+void Workflow::handle_completion(const Task& task) {
+  if (task_handler_) task_handler_(task);
+  const auto it = task_stage_.find(task.uid());
+  if (it == task_stage_.end()) return;  // task outside this workflow
+  const std::string stage_name = it->second;
+  task_stage_.erase(it);
+  if (task.state() != TaskState::kDone) ++failed_tasks_;
+
+  {
+    auto& stage = stages_.at(stage_name);
+    FLOT_CHECK(stage.remaining > 0, "stage '", stage_name,
+               "' over-completed");
+    if (--stage.remaining > 0) return;
+    stage.complete = true;
+    ++completed_stages_;
+  }  // drop the reference: the handler below may add stages (rehash)
+  if (stage_handler_) stage_handler_(stage_name);
+
+  // Unblock dependents over a name snapshot — adaptive handlers may have
+  // grown the map. (Linear scan is fine: campaigns have tens to hundreds
+  // of stages, and this runs once per completed stage.)
+  std::vector<std::string> candidates;
+  for (const auto& [name, candidate] : stages_) {
+    if (!candidate.submitted && !candidate.complete) {
+      candidates.push_back(name);
+    }
+  }
+  for (const auto& name : candidates) maybe_submit(name);
+
+  if (completed_stages_ == stages_.size() && done_handler_) done_handler_();
+}
+
+}  // namespace flotilla::core

@@ -1,0 +1,77 @@
+// Workflow: stages of tasks with dependencies, submitted through a
+// TaskManager as their dependencies resolve.
+//
+// This is the control-flow layer the IMPECCABLE campaign generator builds
+// on (§2: "workflow of workflows"): stages can be added dynamically while
+// the workflow runs, which is how adaptive task generation ("the number of
+// tasks ... is adjusted dynamically at runtime", §4.2) is expressed.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/task.hpp"
+#include "core/task_manager.hpp"
+
+namespace flotilla::core {
+
+class Workflow {
+ public:
+  using StageHandler = std::function<void(const std::string& stage)>;
+  using DoneHandler = std::function<void()>;
+  using TaskHandler = std::function<void(const Task&)>;
+
+  explicit Workflow(TaskManager& tmgr);
+
+  // Adds a stage. `deps` must name existing stages. May be called before or
+  // after start(), enabling adaptive campaigns. Stages with no unresolved
+  // deps are submitted immediately once the workflow started.
+  void add_stage(std::string name, std::vector<TaskDescription> tasks,
+                 std::vector<std::string> deps = {});
+
+  void on_stage_complete(StageHandler handler) {
+    stage_handler_ = std::move(handler);
+  }
+  // Fires whenever all known stages are complete (it can fire again if an
+  // adaptive hook adds more work afterwards).
+  void on_drained(DoneHandler handler) { done_handler_ = std::move(handler); }
+  // Per-task passthrough (the workflow owns the TaskManager's completion
+  // callback).
+  void on_task(TaskHandler handler) { task_handler_ = std::move(handler); }
+
+  void start();
+  bool started() const { return started_; }
+
+  bool stage_complete(const std::string& name) const;
+  std::size_t stages_total() const { return stages_.size(); }
+  std::size_t stages_completed() const { return completed_stages_; }
+  std::uint64_t tasks_failed() const { return failed_tasks_; }
+
+ private:
+  struct Stage {
+    std::vector<TaskDescription> tasks;
+    std::vector<std::string> deps;
+    std::size_t remaining = 0;
+    bool submitted = false;
+    bool complete = false;
+  };
+
+  void maybe_submit(const std::string& name);
+  bool deps_met(const Stage& stage) const;
+  void handle_completion(const Task& task);
+
+  TaskManager& tmgr_;
+  std::unordered_map<std::string, Stage> stages_;
+  std::unordered_map<std::string, std::string> task_stage_;  // uid -> stage
+  StageHandler stage_handler_;
+  DoneHandler done_handler_;
+  TaskHandler task_handler_;
+  std::size_t completed_stages_ = 0;
+  std::uint64_t failed_tasks_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace flotilla::core

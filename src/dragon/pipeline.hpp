@@ -1,0 +1,160 @@
+// Streaming pipeline over warm Dragon workers.
+//
+// §2 calls out "asynchronous pipelines of Python functions communicating
+// through in-memory data structures or message queues" as the intermediate
+// coupling class (REINVENT generation, SST-guided patch selection). This is
+// the C++ analogue: a chain of stages, each with its own warm worker
+// threads and bounded input queue; items flow stage-to-stage through
+// in-memory queues with natural backpressure.
+//
+// Items of one stage may be processed out of order relative to each other
+// when the stage has more than one worker; pipelines needing strict order
+// use single-worker stages.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dragon/mpmc_queue.hpp"
+#include "util/error.hpp"
+
+namespace flotilla::dragon {
+
+template <typename T>
+class Pipeline {
+ public:
+  // A stage transform; returning nullopt drops (filters) the item.
+  using Transform = std::function<std::optional<T>(T)>;
+  using Sink = std::function<void(T)>;
+
+  explicit Pipeline(std::size_t queue_capacity = 256)
+      : queue_capacity_(queue_capacity) {}
+
+  ~Pipeline() {
+    if (started_ && !finished_) finish();
+  }
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  Pipeline& add_stage(std::string name, unsigned workers, Transform fn) {
+    FLOT_CHECK(!started_, "cannot add stages after start()");
+    FLOT_CHECK(workers >= 1, "stage '", name, "' needs >= 1 worker");
+    FLOT_CHECK(fn, "stage '", name, "' needs a transform");
+    stages_.push_back(std::make_unique<Stage>(name, workers, std::move(fn),
+                                              queue_capacity_));
+    return *this;
+  }
+
+  // Terminal consumer, called from stage worker threads; must be
+  // thread-safe.
+  Pipeline& set_sink(Sink sink) {
+    FLOT_CHECK(!started_, "cannot set sink after start()");
+    sink_ = std::move(sink);
+    return *this;
+  }
+
+  void start() {
+    FLOT_CHECK(!started_, "pipeline started twice");
+    FLOT_CHECK(!stages_.empty(), "pipeline has no stages");
+    started_ = true;
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+      Stage* stage = stages_[i].get();
+      Stage* next = i + 1 < stages_.size() ? stages_[i + 1].get() : nullptr;
+      for (unsigned w = 0; w < stage->workers; ++w) {
+        stage->threads.emplace_back(
+            [this, stage, next] { worker_loop(stage, next); });
+      }
+    }
+  }
+
+  // Feeds one item into the first stage; blocks when the stage is full
+  // (backpressure). Returns false once finish() was called.
+  bool feed(T item) {
+    FLOT_CHECK(started_, "feed() before start()");
+    return stages_.front()->queue.push(std::move(item));
+  }
+
+  // Closes the input, drains every stage in order, joins all workers.
+  void finish() {
+    FLOT_CHECK(started_, "finish() before start()");
+    if (finished_) return;
+    finished_ = true;
+    for (auto& stage : stages_) {
+      stage->queue.close();
+      for (auto& thread : stage->threads) {
+        if (thread.joinable()) thread.join();
+      }
+    }
+  }
+
+  std::size_t stage_count() const { return stages_.size(); }
+
+  std::uint64_t processed(const std::string& stage_name) const {
+    for (const auto& stage : stages_) {
+      if (stage->name == stage_name) {
+        return stage->processed.load(std::memory_order_relaxed);
+      }
+    }
+    util::raise("unknown pipeline stage '", stage_name, "'");
+  }
+
+  std::uint64_t dropped(const std::string& stage_name) const {
+    for (const auto& stage : stages_) {
+      if (stage->name == stage_name) {
+        return stage->dropped.load(std::memory_order_relaxed);
+      }
+    }
+    util::raise("unknown pipeline stage '", stage_name, "'");
+  }
+
+ private:
+  struct Stage {
+    Stage(std::string stage_name, unsigned worker_count, Transform transform,
+          std::size_t capacity)
+        : name(std::move(stage_name)),
+          workers(worker_count),
+          fn(std::move(transform)),
+          queue(capacity) {}
+
+    std::string name;
+    unsigned workers;
+    Transform fn;
+    MpmcQueue<T> queue;
+    std::vector<std::thread> threads;
+    std::atomic<std::uint64_t> processed{0};
+    std::atomic<std::uint64_t> dropped{0};
+  };
+
+  void worker_loop(Stage* stage, Stage* next) {
+    while (auto item = stage->queue.pop()) {
+      auto result = stage->fn(std::move(*item));
+      stage->processed.fetch_add(1, std::memory_order_relaxed);
+      if (!result) {
+        stage->dropped.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (next) {
+        // Downstream close only happens in finish() after this stage's
+        // workers joined, so the push cannot be dropped mid-stream.
+        next->queue.push(std::move(*result));
+      } else if (sink_) {
+        sink_(std::move(*result));
+      }
+    }
+  }
+
+  std::size_t queue_capacity_;
+  std::vector<std::unique_ptr<Stage>> stages_;
+  Sink sink_;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace flotilla::dragon

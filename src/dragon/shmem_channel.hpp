@@ -1,0 +1,64 @@
+// Single-producer/single-consumer ring buffer, the in-process analogue of
+// Dragon's shared-memory queues ("Shmem Queue", Fig 3): a producer and a
+// consumer on different threads exchange fixed-size items without locks,
+// using acquire/release ordering on head/tail indices.
+//
+// Capacity is rounded up to a power of two; one slot is kept free to
+// distinguish full from empty.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace flotilla::dragon {
+
+template <typename T>
+class ShmemChannel {
+ public:
+  explicit ShmemChannel(std::size_t min_capacity)
+      : buffer_(std::bit_ceil(min_capacity + 1)),
+        mask_(buffer_.size() - 1) {}
+
+  // Producer side. Returns false when full.
+  bool try_send(T item) {
+    const auto head = head_.load(std::memory_order_relaxed);
+    const auto next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;
+    buffer_[head] = std::move(item);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns nullopt when empty.
+  std::optional<T> try_receive() {
+    const auto tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
+    T item = std::move(buffer_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return item;
+  }
+
+  bool empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const { return buffer_.size() - 1; }
+
+  std::size_t size() const {
+    const auto head = head_.load(std::memory_order_acquire);
+    const auto tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+ private:
+  std::vector<T> buffer_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> head_{0};  // producer-owned
+  alignas(64) std::atomic<std::size_t> tail_{0};  // consumer-owned
+};
+
+}  // namespace flotilla::dragon

@@ -1,0 +1,135 @@
+#include "local/process_pool.hpp"
+
+#include <chrono>
+#include <csignal>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace flotilla::local {
+
+ProcessPool::ProcessPool(unsigned max_concurrent)
+    : max_concurrent_(max_concurrent) {
+  FLOT_CHECK(max_concurrent >= 1, "pool needs >= 1 slot");
+  reaper_ = std::thread([this] { reaper_loop(); });
+}
+
+ProcessPool::~ProcessPool() {
+  wait_all();
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  state_changed_.notify_all();
+  if (reaper_.joinable()) reaper_.join();
+}
+
+void ProcessPool::spawn(std::vector<std::string> argv, Callback done) {
+  FLOT_CHECK(!argv.empty(), "spawn needs an argv");
+  {
+    std::lock_guard lock(mutex_);
+    FLOT_CHECK(!stopping_, "spawn on a stopping pool");
+    queue_.push_back(Pending{std::move(argv), std::move(done)});
+    start_pending_locked();
+  }
+  state_changed_.notify_all();
+}
+
+bool ProcessPool::start_one_locked(Pending&& pending) {
+  std::vector<char*> argv;
+  argv.reserve(pending.argv.size() + 1);
+  for (auto& arg : pending.argv) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    // Out of process slots system-wide: report as failure.
+    ProcessResult result;
+    result.exit_code = 127;
+    ++launched_;
+    ++completed_;
+    if (pending.done) pending.done(result);
+    return false;
+  }
+  if (pid == 0) {
+    // Child: exec or die with the shell's command-not-found code.
+    ::execvp(argv[0], argv.data());
+    ::_exit(127);
+  }
+  ++launched_;
+  live_.emplace(pid,
+                Live{std::move(pending.done),
+                     std::chrono::steady_clock::now()});
+  return true;
+}
+
+void ProcessPool::start_pending_locked() {
+  while (!queue_.empty() && live_.size() < max_concurrent_) {
+    Pending pending = std::move(queue_.front());
+    queue_.pop_front();
+    start_one_locked(std::move(pending));
+  }
+}
+
+void ProcessPool::reaper_loop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    state_changed_.wait(lock,
+                        [this] { return stopping_ || !live_.empty(); });
+    if (live_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    lock.unlock();
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, 0);
+    lock.lock();
+    if (pid <= 0) continue;  // interrupted or not ours
+    const auto it = live_.find(pid);
+    if (it == live_.end()) continue;  // not a pool child
+    ProcessResult result;
+    if (WIFEXITED(status)) {
+      result.exit_code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      result.signaled = true;
+      result.term_signal = WTERMSIG(status);
+    }
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      it->second.started)
+            .count();
+    Callback done = std::move(it->second.done);
+    live_.erase(it);
+    ++completed_;
+    start_pending_locked();
+    lock.unlock();
+    if (done) done(result);
+    lock.lock();
+    state_changed_.notify_all();
+  }
+}
+
+void ProcessPool::wait_all() {
+  std::unique_lock lock(mutex_);
+  state_changed_.wait(lock,
+                      [this] { return queue_.empty() && live_.empty(); });
+}
+
+std::uint64_t ProcessPool::launched() const {
+  std::lock_guard lock(mutex_);
+  return launched_;
+}
+
+std::uint64_t ProcessPool::completed() const {
+  std::lock_guard lock(mutex_);
+  return completed_;
+}
+
+unsigned ProcessPool::running() const {
+  std::lock_guard lock(mutex_);
+  return static_cast<unsigned>(live_.size());
+}
+
+}  // namespace flotilla::local

@@ -1,0 +1,84 @@
+// Real process execution: a bounded pool of forked child processes.
+//
+// The simulation backends model task launching at Frontier scale; this is
+// the native seed of the same execution model — actually fork/exec'ing
+// executables on the local host with bounded concurrency and asynchronous
+// completion callbacks, the way an RP agent's executor drives real tasks
+// on its allocation. Used by the local-execution example and as the
+// building block for running Flotilla workloads for real at laptop scale.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace flotilla::local {
+
+struct ProcessResult {
+  int exit_code = -1;      // valid when !signaled
+  bool signaled = false;   // terminated by a signal
+  int term_signal = 0;     // valid when signaled
+  double wall_seconds = 0.0;
+
+  bool success() const { return !signaled && exit_code == 0; }
+};
+
+class ProcessPool {
+ public:
+  using Callback = std::function<void(const ProcessResult&)>;
+
+  // At most `max_concurrent` children run at once; further spawns queue.
+  explicit ProcessPool(unsigned max_concurrent = 4);
+  ~ProcessPool();
+
+  ProcessPool(const ProcessPool&) = delete;
+  ProcessPool& operator=(const ProcessPool&) = delete;
+
+  // Schedules `argv` (argv[0] resolved via PATH). `done` runs on the
+  // reaper thread; keep it short and thread-safe. A spawn failure is
+  // reported as exit_code 127 (shell convention for "command not found").
+  void spawn(std::vector<std::string> argv, Callback done);
+
+  // Blocks until every spawned and queued process has completed.
+  void wait_all();
+
+  std::uint64_t launched() const;
+  std::uint64_t completed() const;
+  unsigned running() const;
+
+ private:
+  struct Pending {
+    std::vector<std::string> argv;
+    Callback done;
+  };
+
+  void reaper_loop();
+  // Must hold mutex_; starts queued work while below the concurrency cap.
+  void start_pending_locked();
+  bool start_one_locked(Pending&& pending);
+
+  unsigned max_concurrent_;
+  mutable std::mutex mutex_;
+  std::condition_variable state_changed_;
+  std::deque<Pending> queue_;
+  struct Live {
+    Callback done;
+    std::chrono::steady_clock::time_point started;
+  };
+  std::map<pid_t, Live> live_;
+  std::uint64_t launched_ = 0;
+  std::uint64_t completed_ = 0;
+  bool stopping_ = false;
+  std::thread reaper_;
+};
+
+}  // namespace flotilla::local

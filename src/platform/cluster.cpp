@@ -1,0 +1,73 @@
+#include "platform/cluster.hpp"
+
+#include "util/error.hpp"
+
+namespace flotilla::platform {
+
+PlatformSpec frontier_spec() {
+  PlatformSpec spec;
+  spec.name = "frontier";
+  spec.cores_per_node = 56;
+  spec.gpus_per_node = 8;
+  spec.smt = 1;
+  spec.srun_concurrency_ceiling = 112;
+  return spec;
+}
+
+Cluster::Cluster(PlatformSpec spec, int num_nodes) : spec_(std::move(spec)) {
+  FLOT_CHECK(num_nodes >= 1, "cluster needs at least one node");
+  nodes_.reserve(static_cast<std::size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) {
+    nodes_.emplace_back(static_cast<NodeId>(i), spec_.cores_per_node,
+                        spec_.gpus_per_node);
+  }
+}
+
+Node& Cluster::node(NodeId id) {
+  FLOT_CHECK(id >= 0 && id < size(), "node id out of range: ", id);
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+const Node& Cluster::node(NodeId id) const {
+  FLOT_CHECK(id >= 0 && id < size(), "node id out of range: ", id);
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+std::int64_t Cluster::total_cores(NodeRange range) const {
+  return static_cast<std::int64_t>(range.count) * spec_.cores_per_node;
+}
+
+std::int64_t Cluster::total_gpus(NodeRange range) const {
+  return static_cast<std::int64_t>(range.count) * spec_.gpus_per_node;
+}
+
+std::int64_t Cluster::free_cores(NodeRange range) const {
+  std::int64_t n = 0;
+  for (NodeId i = range.first; i < range.end(); ++i) n += node(i).free_cores();
+  return n;
+}
+
+std::int64_t Cluster::free_gpus(NodeRange range) const {
+  std::int64_t n = 0;
+  for (NodeId i = range.first; i < range.end(); ++i) n += node(i).free_gpus();
+  return n;
+}
+
+std::vector<NodeRange> Cluster::partition(NodeRange range, int parts) {
+  FLOT_CHECK(parts >= 1, "partition count must be >= 1, got ", parts);
+  FLOT_CHECK(parts <= range.count, "cannot split ", range.count,
+             " nodes into ", parts, " partitions");
+  std::vector<NodeRange> result;
+  result.reserve(static_cast<std::size_t>(parts));
+  const int base = range.count / parts;
+  const int extra = range.count % parts;
+  NodeId next = range.first;
+  for (int i = 0; i < parts; ++i) {
+    const int count = base + (i < extra ? 1 : 0);
+    result.push_back(NodeRange{next, count});
+    next += count;
+  }
+  return result;
+}
+
+}  // namespace flotilla::platform

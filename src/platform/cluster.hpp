@@ -1,0 +1,57 @@
+// Cluster model: a named platform profile plus a vector of nodes.
+//
+// The Frontier profile matches the paper's experiment setup: 64 physical
+// cores per node of which 8 are reserved for the OS, leaving cpn = 56
+// schedulable cores at SMT=1 (the paper's "4 nodes ... total of 224 cores"),
+// and 8 MI250X GCDs exposed as 8 GPUs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/node.hpp"
+#include "platform/types.hpp"
+
+namespace flotilla::platform {
+
+struct PlatformSpec {
+  std::string name = "generic";
+  int cores_per_node = 56;
+  int gpus_per_node = 8;
+  int smt = 1;  // hardware threads exposed per core
+  // Site-enforced ceiling on concurrently active srun invocations per
+  // allocation (Frontier: 112, measured in the paper's Experiment srun).
+  std::int64_t srun_concurrency_ceiling = 112;
+};
+
+// Frontier, OLCF — the paper's platform.
+PlatformSpec frontier_spec();
+
+class Cluster {
+ public:
+  Cluster(PlatformSpec spec, int num_nodes);
+
+  const PlatformSpec& spec() const { return spec_; }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+
+  NodeRange all_nodes() const { return NodeRange{0, size()}; }
+
+  // Aggregates over a node range.
+  std::int64_t total_cores(NodeRange range) const;
+  std::int64_t total_gpus(NodeRange range) const;
+  std::int64_t free_cores(NodeRange range) const;
+  std::int64_t free_gpus(NodeRange range) const;
+
+  // Splits `range` into `parts` near-equal contiguous partitions (first
+  // partitions get the remainder). Throws if parts > range.count.
+  static std::vector<NodeRange> partition(NodeRange range, int parts);
+
+ private:
+  PlatformSpec spec_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace flotilla::platform

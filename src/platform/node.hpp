@@ -1,0 +1,59 @@
+// Per-node resource bookkeeping.
+//
+// Cores and GPUs are tracked as bitmasks (Frontier exposes at most 64
+// schedulable cores and 8 GCDs per node), so allocate/free are a handful of
+// bit operations — important because the 1024-node experiments place
+// hundreds of thousands of tasks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "platform/types.hpp"
+
+namespace flotilla::platform {
+
+// The core/GPU indices a task occupies on one node.
+struct NodeSlice {
+  NodeId node = 0;
+  std::uint64_t core_mask = 0;
+  std::uint8_t gpu_mask = 0;
+
+  int cores() const;
+  int gpus() const;
+
+  friend bool operator==(const NodeSlice&, const NodeSlice&) = default;
+};
+
+class Node {
+ public:
+  Node(NodeId id, int cores, int gpus);
+
+  NodeId id() const { return id_; }
+  int total_cores() const { return total_cores_; }
+  int total_gpus() const { return total_gpus_; }
+  int free_cores() const { return free_cores_; }
+  int free_gpus() const { return free_gpus_; }
+  bool idle() const {
+    return free_cores_ == total_cores_ && free_gpus_ == total_gpus_;
+  }
+
+  // Claims `cores` cores and `gpus` GPUs; returns the claimed slice or
+  // nullopt if the node cannot satisfy the request.
+  std::optional<NodeSlice> allocate(int cores, int gpus);
+
+  // Returns a previously allocated slice. Double-free is an invariant
+  // violation and throws.
+  void release(const NodeSlice& slice);
+
+ private:
+  NodeId id_;
+  int total_cores_;
+  int total_gpus_;
+  int free_cores_;
+  int free_gpus_;
+  std::uint64_t core_free_mask_;  // bit set = core free
+  std::uint8_t gpu_free_mask_;
+};
+
+}  // namespace flotilla::platform

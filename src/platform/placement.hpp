@@ -1,0 +1,30 @@
+// A placement is the set of node slices a task occupies — the runtime
+// equivalent of a Flux R-list or a Slurm step layout.
+#pragma once
+
+#include <vector>
+
+#include "platform/node.hpp"
+
+namespace flotilla::platform {
+
+struct Placement {
+  std::vector<NodeSlice> slices;
+
+  bool empty() const { return slices.empty(); }
+  int node_count() const { return static_cast<int>(slices.size()); }
+
+  std::int64_t total_cores() const {
+    std::int64_t n = 0;
+    for (const auto& s : slices) n += s.cores();
+    return n;
+  }
+
+  std::int64_t total_gpus() const {
+    std::int64_t n = 0;
+    for (const auto& s : slices) n += s.gpus();
+    return n;
+  }
+};
+
+}  // namespace flotilla::platform

@@ -1,0 +1,80 @@
+#include "platform/placement_algo.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace flotilla::platform {
+
+void release_placement(Cluster& cluster, const Placement& placement) {
+  for (const auto& slice : placement.slices) {
+    cluster.node(slice.node).release(slice);
+  }
+}
+
+std::optional<Placement> try_place(Cluster& cluster, NodeRange range,
+                                   const ResourceDemand& demand,
+                                   NodeId* cursor) {
+  Placement placement;
+  auto rollback = [&] { release_placement(cluster, placement); };
+
+  if (demand.cores_per_node > 0) {
+    auto nodes_needed = static_cast<int>(
+        (demand.cores + demand.cores_per_node - 1) / demand.cores_per_node);
+    // Degenerate GPU-only chunked demand still needs one node.
+    if (nodes_needed == 0 && demand.gpus > 0) nodes_needed = 1;
+    std::int64_t cores_left = demand.cores;
+    std::int64_t gpus_left = demand.gpus;
+    int chunks_left = nodes_needed;
+    for (int i = 0; i < range.count && chunks_left > 0; ++i) {
+      auto& node = cluster.node(range.first + i);
+      const auto cores_here = static_cast<int>(
+          std::min<std::int64_t>(demand.cores_per_node, cores_left));
+      const auto gpus_here =
+          static_cast<int>((gpus_left + chunks_left - 1) / chunks_left);
+      auto slice = node.allocate(cores_here, gpus_here);
+      if (!slice) continue;
+      placement.slices.push_back(*slice);
+      cores_left -= cores_here;
+      gpus_left -= gpus_here;
+      --chunks_left;
+    }
+    if (chunks_left > 0 || cores_left > 0 || gpus_left > 0) {
+      rollback();
+      return std::nullopt;
+    }
+    return placement;
+  }
+
+  std::int64_t cores_left = std::max<std::int64_t>(demand.cores, 0);
+  std::int64_t gpus_left = std::max<std::int64_t>(demand.gpus, 0);
+  const NodeId base = cursor ? *cursor : range.first;
+  for (int i = 0; i < range.count; ++i) {
+    if (cores_left == 0 && gpus_left == 0) break;
+    const NodeId id =
+        range.first + (base - range.first + i) % range.count;
+    auto& node = cluster.node(id);
+    const auto cores_here = static_cast<int>(
+        std::min<std::int64_t>(node.free_cores(), cores_left));
+    const auto gpus_here = static_cast<int>(
+        std::min<std::int64_t>(node.free_gpus(), gpus_left));
+    if (cores_here == 0 && gpus_here == 0) continue;
+    auto slice = node.allocate(cores_here, gpus_here);
+    FLOT_CHECK(slice.has_value(), "free-count/allocate mismatch on node ", id);
+    placement.slices.push_back(*slice);
+    cores_left -= cores_here;
+    gpus_left -= gpus_here;
+    // Advance past the node we just used so successive small tasks
+    // round-robin over the range instead of piling onto one node.
+    if (cursor) {
+      *cursor = range.first + (id - range.first + 1) % range.count;
+    }
+  }
+  if (cores_left > 0 || gpus_left > 0) {
+    rollback();
+    return std::nullopt;
+  }
+  return placement;
+}
+
+}  // namespace flotilla::platform

@@ -1,0 +1,30 @@
+// Shared placement algorithms used by the backend schedulers (slurmctld's
+// step scheduler and Flux's fluxion-equivalent).
+//
+// Two demand shapes:
+//  - tightly coupled (cores_per_node > 0): whole-chunk placement of
+//    cores_per_node cores on each of ceil(cores/cores_per_node) nodes, GPUs
+//    spread evenly across the chunk nodes; all-or-nothing.
+//  - loosely coupled (cores_per_node == 0): greedy first-fit from a rotating
+//    cursor so successive small tasks spread across the range instead of
+//    rescanning from node 0.
+#pragma once
+
+#include <optional>
+
+#include "platform/cluster.hpp"
+#include "platform/placement.hpp"
+
+namespace flotilla::platform {
+
+// Attempts to place `demand` within `range` of `cluster`. On success the
+// slices are already allocated on the nodes; on failure nothing is held.
+// `cursor` (optional) carries the rotating scan position across calls.
+std::optional<Placement> try_place(Cluster& cluster, NodeRange range,
+                                   const ResourceDemand& demand,
+                                   NodeId* cursor = nullptr);
+
+// Frees every slice of `placement` back to its node.
+void release_placement(Cluster& cluster, const Placement& placement);
+
+}  // namespace flotilla::platform

@@ -1,0 +1,34 @@
+// Basic platform vocabulary shared across backends and the core runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace flotilla::platform {
+
+using NodeId = std::int32_t;
+
+// A task's resource demand. `cores` is the total core count across all
+// nodes; multi-node demands are split by the placing scheduler.
+struct ResourceDemand {
+  std::int64_t cores = 1;
+  std::int64_t gpus = 0;
+  // Cores that must be co-located per node; 0 means "pack greedily".
+  std::int64_t cores_per_node = 0;
+
+  friend bool operator==(const ResourceDemand&,
+                         const ResourceDemand&) = default;
+};
+
+// A contiguous range of nodes, used for allocations and partitions.
+struct NodeRange {
+  NodeId first = 0;
+  std::int32_t count = 0;
+
+  NodeId end() const { return first + count; }
+  bool contains(NodeId n) const { return n >= first && n < end(); }
+
+  friend bool operator==(const NodeRange&, const NodeRange&) = default;
+};
+
+}  // namespace flotilla::platform

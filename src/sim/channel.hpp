@@ -1,0 +1,87 @@
+// Typed FIFO channel between simulation components.
+//
+// Producers push(); consumers either pop() one item (callback fires once an
+// item is available) or drain() with a persistent receiver invoked for every
+// item. Deliveries always go through the event queue, never inline, so a
+// producer's state is never reentered from consumer code. Models the ZeroMQ
+// pipes between RP and the Dragon runtime and the internal component queues
+// of the RP agent.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace flotilla::sim {
+
+template <typename T>
+class Channel {
+ public:
+  using Receiver = std::function<void(T)>;
+
+  explicit Channel(Engine& engine) : engine_(engine) {}
+
+  void push(T item) {
+    if (persistent_) {
+      deliver(persistent_, std::move(item));
+      return;
+    }
+    if (!consumers_.empty()) {
+      Receiver receiver = std::move(consumers_.front());
+      consumers_.pop_front();
+      deliver(std::move(receiver), std::move(item));
+      return;
+    }
+    items_.push_back(std::move(item));
+  }
+
+  // Registers a one-shot consumer for the next item.
+  void pop(Receiver receiver) {
+    FLOT_CHECK(receiver, "Channel::pop with empty receiver");
+    FLOT_CHECK(!persistent_, "Channel::pop on a drained channel");
+    if (!items_.empty()) {
+      T item = std::move(items_.front());
+      items_.pop_front();
+      deliver(std::move(receiver), std::move(item));
+      return;
+    }
+    consumers_.push_back(std::move(receiver));
+  }
+
+  // Registers a persistent consumer invoked for every current and future
+  // item. Mutually exclusive with pop().
+  void drain(Receiver receiver) {
+    FLOT_CHECK(receiver, "Channel::drain with empty receiver");
+    FLOT_CHECK(!persistent_, "Channel already has a persistent consumer");
+    FLOT_CHECK(consumers_.empty(),
+               "Channel::drain while one-shot consumers are waiting");
+    persistent_ = std::move(receiver);
+    while (!items_.empty()) {
+      T item = std::move(items_.front());
+      items_.pop_front();
+      deliver(persistent_, std::move(item));
+    }
+  }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  std::size_t waiting_consumers() const { return consumers_.size(); }
+
+ private:
+  void deliver(Receiver receiver, T item) {
+    engine_.in(0.0, [receiver = std::move(receiver),
+                     item = std::move(item)]() mutable {
+      receiver(std::move(item));
+    });
+  }
+
+  Engine& engine_;
+  std::deque<T> items_;
+  std::deque<Receiver> consumers_;
+  Receiver persistent_;
+};
+
+}  // namespace flotilla::sim

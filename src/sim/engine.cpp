@@ -1,0 +1,75 @@
+#include "sim/engine.hpp"
+
+#include "util/error.hpp"
+
+namespace flotilla::sim {
+
+Engine::EventId Engine::at(Time t, Callback cb) {
+  FLOT_CHECK(cb, "scheduling an empty callback");
+  FLOT_CHECK(t == t, "scheduling at NaN time");  // NaN check
+  if (t < now_) t = now_;
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{t, seq});
+  callbacks_.emplace(seq, std::move(cb));
+  ++live_events_;
+  return EventId{seq};
+}
+
+bool Engine::cancel(EventId id) {
+  const auto it = callbacks_.find(id.seq);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_events_;
+  // The heap entry stays behind as a tombstone and is skipped on pop.
+  return true;
+}
+
+void Engine::pop_cancelled() {
+  while (!heap_.empty() &&
+         callbacks_.find(heap_.top().seq) == callbacks_.end()) {
+    heap_.pop();
+  }
+}
+
+Time Engine::next_event_time() const {
+  // pop_cancelled() is not const; scan without mutating by copying the top
+  // until a live event is found. Tombstones are rare, so peeking the top and
+  // falling back to a full scan keeps the common case O(1).
+  auto* self = const_cast<Engine*>(this);
+  self->pop_cancelled();
+  return heap_.empty() ? kInfiniteTime : heap_.top().time;
+}
+
+bool Engine::step() {
+  pop_cancelled();
+  if (heap_.empty()) return false;
+  const Entry entry = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(entry.seq);
+  FLOT_CHECK(it != callbacks_.end(), "event vanished");
+  Callback cb = std::move(it->second);
+  callbacks_.erase(it);
+  --live_events_;
+  now_ = entry.time;
+  ++processed_;
+  cb();
+  return true;
+}
+
+std::uint64_t Engine::run(Time until) {
+  stop_requested_ = false;
+  std::uint64_t count = 0;
+  while (!stop_requested_) {
+    pop_cancelled();
+    if (heap_.empty()) break;
+    if (heap_.top().time > until) {
+      now_ = until;
+      break;
+    }
+    step();
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace flotilla::sim

@@ -1,0 +1,94 @@
+// Deterministic discrete-event simulation engine.
+//
+// The engine owns a virtual clock and an event queue ordered by
+// (time, insertion sequence); ties at equal time resolve in insertion order,
+// which makes every simulation fully deterministic for a given seed — a
+// property the regression tests rely on.
+//
+// The engine is single-threaded by design (CP.2: no shared mutable state to
+// race on); the real-threaded Dragon function executor lives outside the
+// simulation domain.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace flotilla::sim {
+
+using Time = double;  // virtual seconds
+
+inline constexpr Time kInfiniteTime = std::numeric_limits<Time>::infinity();
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  struct EventId {
+    std::uint64_t seq = 0;
+    friend bool operator==(EventId a, EventId b) { return a.seq == b.seq; }
+  };
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules `cb` at absolute virtual time `t` (>= now, else clamped to
+  // now: an event can never fire in the past).
+  EventId at(Time t, Callback cb);
+
+  // Schedules `cb` after `delay` virtual seconds (negative delays clamp
+  // to zero).
+  EventId in(Time delay, Callback cb) { return at(now_ + delay, std::move(cb)); }
+
+  // Cancels a pending event; cancelling an already-fired or unknown event is
+  // a harmless no-op and returns false.
+  bool cancel(EventId id);
+
+  // Runs until the event queue drains, `until` is reached, or stop() is
+  // called. Events scheduled exactly at `until` do fire. Returns the number
+  // of events processed by this call.
+  std::uint64_t run(Time until = kInfiniteTime);
+
+  // Processes exactly one event; returns false if the queue is empty.
+  bool step();
+
+  // Requests that the current run() invocation return after the event being
+  // processed completes.
+  void stop() { stop_requested_ = true; }
+
+  bool empty() const { return live_events_ == 0; }
+  std::size_t pending() const { return live_events_; }
+  std::uint64_t processed() const { return processed_; }
+
+  // Virtual time of the earliest pending event, or kInfiniteTime.
+  Time next_event_time() const;
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    // Min-heap by (time, seq).
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void pop_cancelled();
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t processed_ = 0;
+  std::size_t live_events_ = 0;
+  bool stop_requested_ = false;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+}  // namespace flotilla::sim

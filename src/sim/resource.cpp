@@ -1,0 +1,60 @@
+#include "sim/resource.hpp"
+
+#include "util/error.hpp"
+
+namespace flotilla::sim {
+
+Resource::Resource(Engine& engine, std::int64_t capacity)
+    : engine_(engine), capacity_(capacity), available_(capacity) {
+  FLOT_CHECK(capacity >= 0, "negative resource capacity ", capacity);
+}
+
+std::uint64_t Resource::acquire(std::int64_t amount, Granted granted) {
+  FLOT_CHECK(amount >= 0, "negative acquire amount ", amount);
+  FLOT_CHECK(amount <= capacity_, "acquire ", amount, " exceeds capacity ",
+             capacity_);
+  const std::uint64_t ticket = next_ticket_++;
+  waiters_.push_back(Waiter{ticket, amount, std::move(granted)});
+  grant_waiters();
+  return ticket;
+}
+
+bool Resource::try_acquire(std::int64_t amount) {
+  FLOT_CHECK(amount >= 0, "negative acquire amount ", amount);
+  if (!waiters_.empty() || amount > available_) return false;
+  available_ -= amount;
+  return true;
+}
+
+void Resource::release(std::int64_t amount) {
+  FLOT_CHECK(amount >= 0, "negative release amount ", amount);
+  available_ += amount;
+  FLOT_CHECK(available_ <= capacity_, "resource over-released: available ",
+             available_, " > capacity ", capacity_);
+  grant_waiters();
+}
+
+bool Resource::cancel_wait(std::uint64_t ticket) {
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    if (it->ticket == ticket) {
+      waiters_.erase(it);
+      // A cancellation at the head may unblock smaller requests behind it.
+      grant_waiters();
+      return true;
+    }
+  }
+  return false;
+}
+
+void Resource::grant_waiters() {
+  while (!waiters_.empty() && waiters_.front().amount <= available_) {
+    Waiter waiter = std::move(waiters_.front());
+    waiters_.pop_front();
+    available_ -= waiter.amount;
+    // Deliver through the event queue so grants never reenter caller code
+    // mid-operation (CP.22: no unknown code under our own state mutation).
+    engine_.in(0.0, std::move(waiter.granted));
+  }
+}
+
+}  // namespace flotilla::sim

@@ -1,0 +1,87 @@
+#include "sim/stats.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace flotilla::sim {
+
+void Tally::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Tally::variance() const {
+  return count_ ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double Tally::stddev() const { return std::sqrt(variance()); }
+
+void TimeWeighted::set(Time t, double value) {
+  if (!started_) {
+    started_ = true;
+    first_time_ = t;
+    last_time_ = t;
+    value_ = value;
+    max_ = value;
+    return;
+  }
+  FLOT_CHECK(t >= last_time_, "TimeWeighted updates must be ordered: ", t,
+             " < ", last_time_);
+  integral_ += value_ * (t - last_time_);
+  last_time_ = t;
+  value_ = value;
+  max_ = std::max(max_, value);
+}
+
+double TimeWeighted::integral(Time t) const {
+  if (!started_) return 0.0;
+  FLOT_CHECK(t >= last_time_, "integral endpoint before last update");
+  return integral_ + value_ * (t - last_time_);
+}
+
+double TimeWeighted::time_average(Time t) const {
+  if (!started_ || t <= first_time_) return value_;
+  return integral(t) / (t - first_time_);
+}
+
+void RateSeries::record(Time t, std::uint64_t count) {
+  FLOT_CHECK(t >= 0.0, "negative event time ", t);
+  const auto bin = static_cast<std::size_t>(t / bin_width_);
+  if (bin >= bins_.size()) bins_.resize(bin + 1, 0);
+  bins_[bin] += count;
+  total_ += count;
+  first_ = std::min(first_, t);
+  last_ = std::max(last_, t);
+}
+
+double RateSeries::peak_rate() const {
+  std::uint64_t best = 0;
+  for (const auto b : bins_) best = std::max(best, b);
+  return static_cast<double>(best) / bin_width_;
+}
+
+double RateSeries::mean_nonzero_rate() const {
+  std::uint64_t sum = 0;
+  std::size_t nonzero = 0;
+  for (const auto b : bins_) {
+    if (b) {
+      sum += b;
+      ++nonzero;
+    }
+  }
+  if (!nonzero) return 0.0;
+  return static_cast<double>(sum) / static_cast<double>(nonzero) / bin_width_;
+}
+
+double RateSeries::window_rate() const {
+  if (total_ < 2 || last_ <= first_) return 0.0;
+  return static_cast<double>(total_) / (last_ - first_);
+}
+
+}  // namespace flotilla::sim

@@ -1,0 +1,76 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+namespace flotilla::sim {
+
+std::vector<TraceRecord> Trace::select(const std::string& event,
+                                       const std::string& component) const {
+  std::vector<TraceRecord> result;
+  for (const auto& r : records_) {
+    if (r.event != event) continue;
+    if (!component.empty() && r.component != component) continue;
+    result.push_back(r);
+  }
+  return result;
+}
+
+bool Trace::first_time(const std::string& entity, const std::string& event,
+                       Time& out) const {
+  for (const auto& r : records_) {
+    if (r.entity == entity && r.event == event) {
+      out = r.time;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// Minimal JSON string escaping for trace fields (component/event/entity
+// names are identifiers; this covers the few characters that could sneak
+// in through task names).
+void json_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Trace::write_jsonl(std::ostream& os) const {
+  for (const auto& r : records_) {
+    os << "{\"time\":" << r.time << ",\"comp\":";
+    json_escaped(os, r.component);
+    os << ",\"event\":";
+    json_escaped(os, r.event);
+    os << ",\"entity\":";
+    json_escaped(os, r.entity);
+    os << ",\"value\":" << r.value << "}\n";
+  }
+}
+
+void Trace::write_csv(std::ostream& os) const {
+  os << "time,component,event,entity,value\n";
+  for (const auto& r : records_) {
+    os << r.time << ',' << r.component << ',' << r.event << ',' << r.entity
+       << ',' << r.value << '\n';
+  }
+}
+
+}  // namespace flotilla::sim

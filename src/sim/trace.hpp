@@ -1,0 +1,60 @@
+// Append-only event trace, the substrate of RP-style profiling.
+//
+// Every component records (time, component, event, entity, info) tuples;
+// analytics derives throughput/utilization/overhead from them post hoc, the
+// way RADICAL-Analytics consumes RP profiles. Records are kept in memory and
+// can be dumped as CSV.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace flotilla::sim {
+
+struct TraceRecord {
+  Time time = 0.0;
+  std::string component;  // e.g. "agent.scheduler", "flux.0"
+  std::string event;      // e.g. "task_launch", "job_complete"
+  std::string entity;     // e.g. "task.000017"
+  double value = 0.0;     // optional numeric payload (cores, rc, ...)
+};
+
+class Trace {
+ public:
+  explicit Trace(Engine& engine) : engine_(&engine) {}
+
+  void record(std::string component, std::string event, std::string entity,
+              double value = 0.0) {
+    records_.push_back(TraceRecord{engine_->now(), std::move(component),
+                                   std::move(event), std::move(entity),
+                                   value});
+  }
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  // Records matching the given event name (and optionally component).
+  std::vector<TraceRecord> select(const std::string& event,
+                                  const std::string& component = "") const;
+
+  // First record time for (entity, event); returns false if absent.
+  bool first_time(const std::string& entity, const std::string& event,
+                  Time& out) const;
+
+  void write_csv(std::ostream& os) const;
+
+  // One JSON object per line ({"time":..,"comp":..,"event":..,
+  // "entity":..,"value":..}) for ingestion by analysis notebooks.
+  void write_jsonl(std::ostream& os) const;
+
+ private:
+  Engine* engine_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace flotilla::sim

@@ -1,0 +1,34 @@
+// Error handling primitives.
+//
+// Programmer errors (broken invariants, misuse of the API) throw
+// flotilla::util::Error; expected runtime failures (task failure, backend
+// crash) are modeled as states, not exceptions, following the task/pilot
+// state machines in core/.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "util/strfmt.hpp"
+
+namespace flotilla::util {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string msg) : std::runtime_error(std::move(msg)) {}
+};
+
+template <typename... Args>
+[[noreturn]] void raise(Args&&... args) {
+  throw Error(cat(std::forward<Args>(args)...));
+}
+
+// Check an invariant; message is only assembled on failure.
+#define FLOT_CHECK(cond, ...)                                               \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::flotilla::util::raise("check failed: " #cond " — ", __VA_ARGS__);   \
+    }                                                                       \
+  } while (false)
+
+}  // namespace flotilla::util

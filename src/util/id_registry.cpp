@@ -1,0 +1,30 @@
+#include "util/id_registry.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace flotilla::util {
+
+std::string IdRegistry::next(const std::string& ns, int width) {
+  std::uint64_t value = 0;
+  {
+    std::lock_guard lock(mutex_);
+    value = counters_[ns]++;
+  }
+  std::ostringstream os;
+  os << ns << '.' << std::setw(width) << std::setfill('0') << value;
+  return os.str();
+}
+
+std::uint64_t IdRegistry::count(const std::string& ns) const {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(ns);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void IdRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  counters_.clear();
+}
+
+}  // namespace flotilla::util

@@ -1,0 +1,30 @@
+// Typed, human-readable entity identifiers.
+//
+// Mirrors RADICAL-Pilot's id scheme: "task.000042", "pilot.0001",
+// "flux.0003". A registry hands out monotonically increasing per-namespace
+// counters; ids sort lexicographically in creation order within a namespace.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace flotilla::util {
+
+class IdRegistry {
+ public:
+  // Returns "<ns>.<counter>" with the counter zero-padded to `width`.
+  std::string next(const std::string& ns, int width = 6);
+
+  // Number of ids handed out so far for `ns`.
+  std::uint64_t count(const std::string& ns) const;
+
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace flotilla::util

@@ -1,0 +1,103 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace flotilla::util {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+LogLevel log_level_from_string(std::string_view name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+namespace {
+
+class StderrSink : public LogSink {
+ public:
+  void write(std::string_view line) override {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fputc('\n', stderr);
+  }
+};
+
+}  // namespace
+
+LogRegistry& LogRegistry::instance() {
+  static LogRegistry registry;
+  return registry;
+}
+
+LogRegistry::LogRegistry()
+    : level_(LogLevel::kWarn), sink_(std::make_shared<StderrSink>()) {
+  if (const char* env = std::getenv("FLOTILLA_LOG")) {
+    level_.store(log_level_from_string(env), std::memory_order_relaxed);
+  }
+}
+
+void LogRegistry::set_sink(std::shared_ptr<LogSink> sink) {
+  std::lock_guard lock(mutex_);
+  sink_ = sink ? std::move(sink) : std::make_shared<StderrSink>();
+}
+
+void LogRegistry::emit(std::string_view component, LogLevel level,
+                       std::string_view msg) {
+  const std::string line =
+      cat('[', to_string(level), "] ", component, ": ", msg);
+  std::lock_guard lock(mutex_);
+  sink_->write(line);
+}
+
+FileSink::FileSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "a")) {}
+
+FileSink::~FileSink() {
+  if (file_) std::fclose(file_);
+}
+
+void FileSink::write(std::string_view line) {
+  if (!file_) return;
+  std::lock_guard lock(mutex_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+void CaptureSink::write(std::string_view line) {
+  std::lock_guard lock(mutex_);
+  lines_.emplace_back(line);
+}
+
+std::vector<std::string> CaptureSink::lines() const {
+  std::lock_guard lock(mutex_);
+  return lines_;
+}
+
+void CaptureSink::clear() {
+  std::lock_guard lock(mutex_);
+  lines_.clear();
+}
+
+}  // namespace flotilla::util

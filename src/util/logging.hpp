@@ -1,0 +1,135 @@
+// Lightweight leveled logging.
+//
+// Components obtain a named Logger from the global LogRegistry; the registry
+// owns a single sink (stderr by default, or a file) and a global level
+// threshold that can be set programmatically or via the FLOTILLA_LOG
+// environment variable (trace|debug|info|warn|error|off).
+//
+// Logging is thread-safe: the real-threaded Dragon function executor logs
+// from worker threads.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/strfmt.hpp"
+
+namespace flotilla::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+std::string_view to_string(LogLevel level);
+LogLevel log_level_from_string(std::string_view name);
+
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void write(std::string_view line) = 0;
+};
+
+// Process-wide logging state. Access via LogRegistry::instance().
+class LogRegistry {
+ public:
+  static LogRegistry& instance();
+
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+
+  // Replaces the sink; pass nullptr to restore the default stderr sink.
+  void set_sink(std::shared_ptr<LogSink> sink);
+
+  void emit(std::string_view component, LogLevel level, std::string_view msg);
+
+ private:
+  LogRegistry();
+
+  std::atomic<LogLevel> level_;
+  std::mutex mutex_;
+  std::shared_ptr<LogSink> sink_;
+};
+
+// Named front-end; cheap to copy.
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  bool enabled(LogLevel level) const {
+    return level >= LogRegistry::instance().level();
+  }
+
+  template <typename... Args>
+  void log(LogLevel level, Args&&... args) const {
+    if (!enabled(level)) return;
+    LogRegistry::instance().emit(component_, level,
+                                 cat(std::forward<Args>(args)...));
+  }
+
+  template <typename... Args>
+  void trace(Args&&... args) const {
+    log(LogLevel::kTrace, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void debug(Args&&... args) const {
+    log(LogLevel::kDebug, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void info(Args&&... args) const {
+    log(LogLevel::kInfo, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void warn(Args&&... args) const {
+    log(LogLevel::kWarn, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void error(Args&&... args) const {
+    log(LogLevel::kError, std::forward<Args>(args)...);
+  }
+
+  const std::string& component() const { return component_; }
+
+ private:
+  std::string component_;
+};
+
+// Sink appending lines to a file (the agent's log file in RP terms).
+// Lines are flushed as written so post-mortem logs survive crashes.
+class FileSink : public LogSink {
+ public:
+  explicit FileSink(const std::string& path);
+  ~FileSink() override;
+  void write(std::string_view line) override;
+  bool ok() const { return file_ != nullptr; }
+
+ private:
+  std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+};
+
+// Sink that appends lines to an in-memory buffer; used by tests to assert on
+// emitted diagnostics.
+class CaptureSink : public LogSink {
+ public:
+  void write(std::string_view line) override;
+  std::vector<std::string> lines() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace flotilla::util

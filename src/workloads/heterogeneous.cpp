@@ -1,0 +1,61 @@
+#include "workloads/heterogeneous.hpp"
+
+#include "sim/random.hpp"
+#include "util/error.hpp"
+#include "util/strfmt.hpp"
+
+namespace flotilla::workloads {
+
+std::vector<TaskClass> default_mixture() {
+  return {
+      {"inference", 0.70, 1, 0, 0, 20.0, 0.4,
+       platform::TaskModality::kFunction},
+      {"analysis", 0.20, 8, 0, 0, 120.0, 0.3,
+       platform::TaskModality::kExecutable},
+      {"training", 0.08, 14, 2, 0, 600.0, 0.2,
+       platform::TaskModality::kExecutable},
+      {"mpi_sim", 0.02, 112, 0, 56, 900.0, 0.1,
+       platform::TaskModality::kExecutable},
+  };
+}
+
+std::vector<core::TaskDescription> heterogeneous_tasks(
+    int count, const std::vector<TaskClass>& classes, std::uint64_t seed) {
+  FLOT_CHECK(!classes.empty(), "mixture needs at least one class");
+  double total_weight = 0.0;
+  for (const auto& cls : classes) {
+    FLOT_CHECK(cls.weight >= 0.0, "negative weight for class ", cls.name);
+    total_weight += cls.weight;
+  }
+  FLOT_CHECK(total_weight > 0.0, "mixture weights sum to zero");
+
+  sim::RngStream rng(seed, "heterogeneous");
+  std::vector<core::TaskDescription> tasks;
+  tasks.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    double pick = rng.uniform(0.0, total_weight);
+    const TaskClass* chosen = &classes.back();
+    for (const auto& cls : classes) {
+      if (pick < cls.weight) {
+        chosen = &cls;
+        break;
+      }
+      pick -= cls.weight;
+    }
+    core::TaskDescription desc;
+    desc.name = util::cat(chosen->name, ".", i);
+    desc.stage = chosen->name;
+    desc.demand.cores = chosen->cores;
+    desc.demand.gpus = chosen->gpus;
+    desc.demand.cores_per_node = chosen->cores_per_node;
+    desc.duration =
+        chosen->duration_cv > 0.0
+            ? rng.lognormal_mean_cv(chosen->mean_duration, chosen->duration_cv)
+            : chosen->mean_duration;
+    desc.modality = chosen->modality;
+    tasks.push_back(std::move(desc));
+  }
+  return tasks;
+}
+
+}  // namespace flotilla::workloads

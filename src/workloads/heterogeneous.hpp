@@ -1,0 +1,37 @@
+// Heterogeneous workload generator: the task-size mixtures that motivate
+// hierarchical scheduling (§2: workloads "ranging from tightly coupled MPI
+// tasks to short-lived, stateless Python functions").
+//
+// Produces a randomized mixture of task classes with configurable weights;
+// deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/task.hpp"
+
+namespace flotilla::workloads {
+
+struct TaskClass {
+  std::string name;
+  double weight = 1.0;  // relative frequency
+  std::int64_t cores = 1;
+  std::int64_t gpus = 0;
+  std::int64_t cores_per_node = 0;
+  double mean_duration = 180.0;
+  double duration_cv = 0.0;
+  platform::TaskModality modality = platform::TaskModality::kExecutable;
+};
+
+// Draws `count` tasks from the weighted mixture. Class tags land in
+// TaskDescription::stage for per-class analytics.
+std::vector<core::TaskDescription> heterogeneous_tasks(
+    int count, const std::vector<TaskClass>& classes, std::uint64_t seed);
+
+// A representative HPC+AI mixture: 70% short single-core functions, 20%
+// medium CPU executables, 8% GPU tasks, 2% multi-node MPI jobs.
+std::vector<TaskClass> default_mixture();
+
+}  // namespace flotilla::workloads

@@ -1,0 +1,122 @@
+#include "workloads/impeccable.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "sim/random.hpp"
+#include "util/strfmt.hpp"
+
+namespace flotilla::workloads {
+
+int CampaignPlan::tasks_per_iteration() const {
+  int n = 0;
+  for (const auto& stage : per_iteration) n += stage.tasks;
+  return n;
+}
+
+CampaignPlan impeccable_plan(int nodes) {
+  FLOT_CHECK(nodes >= 32, "IMPECCABLE needs at least 32 nodes, got ", nodes);
+  CampaignPlan plan;
+  plan.nodes = nodes;
+
+  // Width scale: how many replicas of the 256-node stage set fit the
+  // allocation. The campaign's total work is fixed, so a wider allocation
+  // runs fewer, fatter iterations (the paper's adaptive task counts).
+  const double scale = static_cast<double>(nodes) / 256.0;
+  const int s = std::max(1, static_cast<int>(std::lround(scale)));
+
+  plan.per_iteration = {
+      // docking: CPU-only, high throughput; 32-node chunks.
+      {"dock", 6 * s, 1792, 0, 0},
+      // SST surrogate training: GPU, up to 4 nodes.
+      {"train", 1 * s, 56, 32, 0},
+      // SST surrogate inference: GPU, wide.
+      {"infer", 4 * s, 448, 256, 0},
+      // Physics-based scoring: tightly coupled MPI, up to 7,168 cores.
+      {"mmpbsa", 2 * s, 7168, 0, 56},
+      // AMPL property prediction: CPU/GPU, up to 16 nodes.
+      {"ampl", 2 * s, 112, 64, 0},
+      // ESMACS ensemble members: CPU/GPU, tens of nodes each.
+      {"esmacs", 3 * s, 1120, 400, 0},
+      // REINVENT generative model: single GPU node.
+      {"reinvent", 1, 8, 8, 0},
+  };
+
+  // Total task budget follows Table 1 (~550 at 256 nodes, ~1,800 at 1,024),
+  // sublinear in the allocation because iterations shrink as width grows.
+  const int target_total =
+      static_cast<int>(std::lround(550.0 * std::pow(scale, 0.85)));
+  plan.iterations =
+      std::max(4, target_total / std::max(1, plan.tasks_per_iteration()));
+  return plan;
+}
+
+void build_impeccable(core::Workflow& workflow, const CampaignPlan& plan,
+                      std::uint64_t seed) {
+  FLOT_CHECK(plan.iterations >= 1, "campaign needs >= 1 iteration");
+  sim::RngStream rng(seed, "impeccable");
+  auto stage_name = [](const std::string& family, int iter) {
+    return util::cat(family, ".", iter);
+  };
+
+  for (int iter = 0; iter < plan.iterations; ++iter) {
+    // Dependencies inside one iteration, per §2's feedback structure.
+    const std::vector<std::pair<std::string, std::vector<std::string>>>
+        edges = {
+            {"dock", {}},
+            {"train", {"dock"}},
+            {"infer", {"train"}},
+            {"mmpbsa", {"infer"}},
+            {"ampl", {"infer"}},
+            {"esmacs", {"dock"}},
+            {"reinvent", {"infer"}},
+        };
+    for (const auto& [family, deps] : edges) {
+      const auto tmpl_it = std::find_if(
+          plan.per_iteration.begin(), plan.per_iteration.end(),
+          [&family = family](const StageTemplate& t) {
+            return t.name == family;
+          });
+      FLOT_CHECK(tmpl_it != plan.per_iteration.end(), "missing template ",
+                 family);
+      std::vector<core::TaskDescription> tasks;
+      tasks.reserve(static_cast<std::size_t>(tmpl_it->tasks));
+      for (int i = 0; i < tmpl_it->tasks; ++i) {
+        core::TaskDescription desc;
+        desc.name = util::cat(family, ".", iter, ".", i);
+        desc.demand.cores = tmpl_it->cores;
+        desc.demand.gpus = tmpl_it->gpus;
+        desc.demand.cores_per_node = tmpl_it->cores_per_node;
+        desc.duration =
+            plan.duration_cv > 0.0
+                ? rng.lognormal_mean_cv(plan.task_duration, plan.duration_cv)
+                : plan.task_duration;
+        desc.input_mb = plan.stage_in_mb;
+        desc.output_mb = plan.stage_out_mb;
+        desc.fail_probability = plan.fail_probability;
+        desc.max_retries = plan.max_retries;
+        desc.backend_hint = plan.backend_hint;
+        desc.stage = stage_name(family, iter);
+        if (plan.coscheduled_esmacs && family == "esmacs") {
+          desc.gang = stage_name(family, iter);
+          desc.gang_size = tmpl_it->tasks;
+        }
+        tasks.push_back(std::move(desc));
+      }
+      std::vector<std::string> dep_stages;
+      for (const auto& dep : deps) {
+        dep_stages.push_back(stage_name(dep, iter));
+      }
+      // Surrogate feedback: the next iteration's docking campaign waits for
+      // this iteration's inference results.
+      if (family == "dock" && iter > 0) {
+        dep_stages.push_back(stage_name("infer", iter - 1));
+      }
+      workflow.add_stage(stage_name(family, iter), std::move(tasks),
+                         std::move(dep_stages));
+    }
+  }
+}
+
+}  // namespace flotilla::workloads

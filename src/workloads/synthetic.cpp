@@ -1,0 +1,61 @@
+#include "workloads/synthetic.hpp"
+
+#include "sim/random.hpp"
+#include "util/error.hpp"
+#include "workloads/trace_replay.hpp"
+
+namespace flotilla::workloads {
+
+std::vector<core::TaskDescription> uniform_tasks(
+    int count, double duration, std::int64_t cores,
+    platform::TaskModality modality, std::string backend_hint) {
+  std::vector<core::TaskDescription> tasks;
+  tasks.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    core::TaskDescription desc;
+    desc.demand.cores = cores;
+    desc.duration = duration;
+    desc.modality = modality;
+    desc.backend_hint = backend_hint;
+    tasks.push_back(std::move(desc));
+  }
+  return tasks;
+}
+
+int paper_task_count(int nodes, int cores_per_node) {
+  return nodes * cores_per_node * 4;
+}
+
+std::vector<core::TaskDescription> mixed_tasks(int count, double duration) {
+  std::vector<core::TaskDescription> tasks;
+  tasks.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    core::TaskDescription desc;
+    desc.demand.cores = 1;
+    desc.duration = duration;
+    desc.modality = (i % 2 == 0) ? platform::TaskModality::kExecutable
+                                 : platform::TaskModality::kFunction;
+    tasks.push_back(std::move(desc));
+  }
+  return tasks;
+}
+
+std::vector<TraceEntry> poisson_arrivals(
+    int count, double rate_per_s, const core::TaskDescription& prototype,
+    std::uint64_t seed) {
+  FLOT_CHECK(rate_per_s > 0.0, "arrival rate must be positive");
+  sim::RngStream rng(seed, "poisson");
+  std::vector<TraceEntry> entries;
+  entries.reserve(static_cast<std::size_t>(count));
+  double t = 0.0;
+  for (int i = 0; i < count; ++i) {
+    t += rng.exponential(1.0 / rate_per_s);
+    TraceEntry entry;
+    entry.submit_time = t;
+    entry.task = prototype;
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace flotilla::workloads

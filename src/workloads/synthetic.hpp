@@ -1,0 +1,43 @@
+// Synthetic workload generators for the Table 1 experiments.
+//
+//  - null workload: empty tasks that return immediately; stresses only the
+//    middleware stack (throughput experiments, Figs 5-6).
+//  - dummy workload: fixed-duration sleep tasks; keeps queues saturated for
+//    utilization measurements (Fig 4, flux_n utilization).
+//
+// Task counts follow the paper's formula: n_nodes * cpn * 4 single-core
+// tasks (four waves per core).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/task.hpp"
+
+namespace flotilla::workloads {
+
+// `count` copies of a single-core task with the given payload duration.
+std::vector<core::TaskDescription> uniform_tasks(
+    int count, double duration = 0.0, std::int64_t cores = 1,
+    platform::TaskModality modality = platform::TaskModality::kExecutable,
+    std::string backend_hint = "");
+
+// The paper's task count for a throughput/utilization run: nodes * cpn * 4.
+int paper_task_count(int nodes, int cores_per_node = 56);
+
+// A mixed executable/function workload (Experiment flux+dragon): half the
+// tasks are executables, half are functions, interleaved.
+std::vector<core::TaskDescription> mixed_tasks(int count,
+                                               double duration = 0.0);
+
+// An open-arrival workload: `count` copies of `prototype` arriving as a
+// Poisson process with the given rate (tasks/s), as trace entries ready
+// for workloads::replay(). Models streaming/inference services (§2's
+// "bursts of high-throughput, concurrent inference tasks").
+struct TraceEntry;  // from trace_replay.hpp
+std::vector<struct TraceEntry> poisson_arrivals(
+    int count, double rate_per_s, const core::TaskDescription& prototype,
+    std::uint64_t seed);
+
+}  // namespace flotilla::workloads

@@ -1,0 +1,88 @@
+#include "workloads/trace_replay.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace flotilla::workloads {
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream stream(line);
+  while (std::getline(stream, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+double to_double(const std::string& cell, const std::string& line) {
+  char* end = nullptr;
+  const double value = std::strtod(cell.c_str(), &end);
+  FLOT_CHECK(end && *end == '\0', "bad numeric field '", cell,
+             "' in trace row: ", line);
+  return value;
+}
+
+}  // namespace
+
+std::vector<TraceEntry> parse_trace(std::istream& in) {
+  std::vector<TraceEntry> entries;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      if (line.rfind("submit_time", 0) == 0) continue;  // header
+    }
+    const auto cells = split_csv(line);
+    FLOT_CHECK(cells.size() >= 6, "trace row needs >= 6 fields: ", line);
+    TraceEntry entry;
+    entry.submit_time = to_double(cells[0], line);
+    FLOT_CHECK(entry.submit_time >= 0.0, "negative submit_time: ", line);
+    entry.task.demand.cores =
+        static_cast<std::int64_t>(to_double(cells[1], line));
+    entry.task.demand.gpus =
+        static_cast<std::int64_t>(to_double(cells[2], line));
+    entry.task.demand.cores_per_node =
+        static_cast<std::int64_t>(to_double(cells[3], line));
+    entry.task.duration = to_double(cells[4], line);
+    if (cells[5] == "func") {
+      entry.task.modality = platform::TaskModality::kFunction;
+    } else {
+      FLOT_CHECK(cells[5] == "exec", "modality must be exec|func: ", line);
+    }
+    if (cells.size() >= 7) entry.task.stage = cells[6];
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+void write_trace(std::ostream& out, const std::vector<TraceEntry>& entries) {
+  out << "submit_time,cores,gpus,cores_per_node,duration,modality,stage\n";
+  for (const auto& entry : entries) {
+    out << entry.submit_time << ',' << entry.task.demand.cores << ','
+        << entry.task.demand.gpus << ',' << entry.task.demand.cores_per_node
+        << ',' << entry.task.duration << ','
+        << (entry.task.modality == platform::TaskModality::kFunction
+                ? "func"
+                : "exec")
+        << ',' << entry.task.stage << '\n';
+  }
+}
+
+std::size_t replay(core::TaskManager& tmgr,
+                   const std::vector<TraceEntry>& entries, sim::Time start) {
+  auto& engine = tmgr.session().engine();
+  for (const auto& entry : entries) {
+    engine.at(start + entry.submit_time, [&tmgr, task = entry.task] {
+      tmgr.submit(task);
+    });
+  }
+  return entries.size();
+}
+
+}  // namespace flotilla::workloads

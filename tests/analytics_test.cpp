@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "analytics/latency.hpp"
+#include "analytics/metrics.hpp"
+#include "util/error.hpp"
+
+namespace flotilla::analytics {
+namespace {
+
+TEST(RunMetrics, ThroughputFromLaunchSeries) {
+  RunMetrics metrics;
+  metrics.on_submit(0.0);
+  for (int i = 0; i < 10; ++i) {
+    metrics.on_launch(0.1 * i, 1, 0);  // 10 launches in bin 0
+  }
+  for (int i = 0; i < 5; ++i) {
+    metrics.on_launch(2.0 + 0.1 * i, 1, 0);  // 5 launches in bin 2
+  }
+  EXPECT_DOUBLE_EQ(metrics.peak_throughput(), 10.0);
+  EXPECT_DOUBLE_EQ(metrics.avg_throughput(), 7.5);  // mean of nonzero bins
+  EXPECT_EQ(metrics.launch_series().total(), 15u);
+}
+
+TEST(RunMetrics, UtilizationOverLaunchToCompletionSpan) {
+  RunMetrics metrics;
+  metrics.on_submit(0.0);
+  // Two 4-core tasks run [10, 110]; capacity 8 cores -> 100% utilization.
+  metrics.on_launch(10.0, 4, 1);
+  metrics.on_launch(10.0, 4, 1);
+  metrics.on_attempt_end(110.0, 4, 1);
+  metrics.on_attempt_end(110.0, 4, 1);
+  metrics.on_final(110.0, true);
+  metrics.on_final(110.0, true);
+  EXPECT_NEAR(metrics.core_utilization(8), 1.0, 1e-9);
+  EXPECT_NEAR(metrics.gpu_utilization(2), 1.0, 1e-9);
+  EXPECT_NEAR(metrics.core_utilization(16), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(metrics.peak_concurrency(), 2.0);
+  EXPECT_DOUBLE_EQ(metrics.makespan(), 110.0);
+  EXPECT_EQ(metrics.tasks_done(), 2u);
+}
+
+TEST(RunMetrics, BootstrapIdleTimeExcludedFromUtilization) {
+  RunMetrics metrics;
+  metrics.on_submit(0.0);
+  // Launch only at t=1000 (long bootstrap); runs 100 s on all 4 cores.
+  metrics.on_launch(1000.0, 4, 0);
+  metrics.on_attempt_end(1100.0, 4, 0);
+  metrics.on_final(1100.0, true);
+  EXPECT_NEAR(metrics.core_utilization(4), 1.0, 1e-9);  // not diluted
+}
+
+TEST(RunMetrics, RetriedAttemptsCountedPerLaunch) {
+  RunMetrics metrics;
+  metrics.on_submit(0.0);
+  metrics.on_launch(1.0, 2, 0);
+  metrics.on_attempt_end(5.0, 2, 0);  // failed attempt
+  metrics.on_retry();
+  metrics.on_launch(6.0, 2, 0);
+  metrics.on_attempt_end(10.0, 2, 0);
+  metrics.on_final(10.0, true);
+  EXPECT_EQ(metrics.launch_series().total(), 2u);
+  EXPECT_EQ(metrics.tasks_retried(), 1u);
+  EXPECT_EQ(metrics.tasks_done(), 1u);
+  EXPECT_EQ(metrics.tasks_failed(), 0u);
+}
+
+TEST(RunMetrics, NeverLaunchedFailureCountsWithoutBusyAccounting) {
+  RunMetrics metrics;
+  metrics.on_submit(0.0);
+  metrics.on_final(3.0, false);
+  EXPECT_EQ(metrics.tasks_failed(), 1u);
+  EXPECT_DOUBLE_EQ(metrics.core_utilization(4), 0.0);
+}
+
+TEST(RunMetrics, EmptyMetricsAreZero) {
+  RunMetrics metrics;
+  EXPECT_DOUBLE_EQ(metrics.peak_throughput(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.core_utilization(100), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.makespan(), 0.0);
+}
+
+TEST(LatencyHistogram, PercentilesOnUniformSamples) {
+  LatencyHistogram hist;
+  for (int i = 1; i <= 1000; ++i) hist.record(i * 0.001);  // 1ms..1s
+  EXPECT_EQ(hist.count(), 1000u);
+  EXPECT_NEAR(hist.mean(), 0.5005, 1e-6);
+  EXPECT_NEAR(hist.percentile(0.5), 0.5, 0.05);   // ~2.3% bucket width
+  EXPECT_NEAR(hist.percentile(0.99), 0.99, 0.08);
+  EXPECT_NEAR(hist.percentile(0.0), 0.001, 0.001);
+  EXPECT_NEAR(hist.percentile(1.0), 1.0, 0.05);
+  EXPECT_DOUBLE_EQ(hist.min(), 0.001);
+  EXPECT_DOUBLE_EQ(hist.max(), 1.0);
+}
+
+TEST(LatencyHistogram, BimodalDistribution) {
+  LatencyHistogram hist;
+  for (int i = 0; i < 900; ++i) hist.record(0.01);
+  for (int i = 0; i < 100; ++i) hist.record(10.0);
+  EXPECT_NEAR(hist.percentile(0.5), 0.01, 0.003);
+  EXPECT_NEAR(hist.percentile(0.95), 10.0, 1.5);
+}
+
+TEST(LatencyHistogram, EmptyAndEdgeBehaviour) {
+  LatencyHistogram hist;
+  EXPECT_DOUBLE_EQ(hist.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+  hist.record(0.0);  // below the bucket floor: clamps to bucket 0
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_DOUBLE_EQ(hist.percentile(0.5), 0.0);  // clamped to min sample
+  EXPECT_THROW(hist.percentile(1.5), util::Error);
+  EXPECT_THROW(hist.record(-1.0), util::Error);
+}
+
+TEST(LatencyHistogram, ExtremeValuesClampToRange) {
+  LatencyHistogram hist;
+  hist.record(1e-9);  // below floor
+  hist.record(1e9);   // above ceiling bucket
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_DOUBLE_EQ(hist.max(), 1e9);
+  EXPECT_LE(hist.percentile(0.25), 1e-5 * 1.2);
+}
+
+}  // namespace
+}  // namespace flotilla::analytics

@@ -1,0 +1,180 @@
+// Tests for the AsyncFlow future/continuation API.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/asyncflow.hpp"
+#include "core/flotilla.hpp"
+#include "util/error.hpp"
+
+namespace flotilla::core {
+namespace {
+
+struct FlowFixture {
+  Session session{platform::frontier_spec(), 4, 42};
+  PilotManager pmgr{session};
+  Pilot* pilot = nullptr;
+  std::unique_ptr<TaskManager> tmgr;
+  std::unique_ptr<AsyncFlow> flow;
+
+  FlowFixture() {
+    pilot = &pmgr.submit({.nodes = 4, .backends = {{"flux", 1}}});
+    pilot->launch([](bool ok, const std::string&) { EXPECT_TRUE(ok); });
+    session.run(240.0);
+    tmgr = std::make_unique<TaskManager>(session, pilot->agent());
+    flow = std::make_unique<AsyncFlow>(*tmgr);
+  }
+
+  TaskDescription quick(double duration = 5.0) {
+    TaskDescription desc;
+    desc.demand.cores = 1;
+    desc.duration = duration;
+    return desc;
+  }
+};
+
+TEST(AsyncFlow, SubmitReturnsFutureThatCompletes) {
+  FlowFixture fx;
+  auto future = fx.flow->submit(fx.quick());
+  EXPECT_TRUE(future.valid());
+  EXPECT_FALSE(future.done());
+  EXPECT_EQ(fx.flow->inflight(), 1u);
+  fx.session.run();
+  EXPECT_TRUE(future.done());
+  EXPECT_TRUE(future.succeeded());
+  EXPECT_EQ(fx.flow->inflight(), 0u);
+}
+
+TEST(AsyncFlow, ThenChainsFollowUpWork) {
+  FlowFixture fx;
+  std::vector<std::string> order;
+  auto first = fx.flow->submit(fx.quick(10.0));
+  first.then([&](const Task& task) {
+    order.push_back("first:" + std::string(to_string(task.state())));
+    fx.flow->submit(fx.quick(5.0)).then([&](const Task&) {
+      order.push_back("second");
+    });
+  });
+  fx.session.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "first:DONE");
+  EXPECT_EQ(order[1], "second");
+}
+
+TEST(AsyncFlow, ThenAfterCompletionFiresImmediately) {
+  FlowFixture fx;
+  auto future = fx.flow->submit(fx.quick(1.0));
+  fx.session.run();
+  ASSERT_TRUE(future.done());
+  bool fired = false;
+  future.then([&](const Task& task) {
+    fired = true;
+    EXPECT_EQ(task.state(), TaskState::kDone);
+  });
+  EXPECT_FALSE(fired);  // delivered via the event queue, never inline
+  fx.session.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(AsyncFlow, MultipleContinuationsRunInOrder) {
+  FlowFixture fx;
+  std::vector<int> order;
+  auto future = fx.flow->submit(fx.quick());
+  future.then([&](const Task&) { order.push_back(1); });
+  future.then([&](const Task&) { order.push_back(2); });
+  future.then([&](const Task&) { order.push_back(3); });
+  fx.session.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(AsyncFlow, WhenAllJoinsAGroup) {
+  FlowFixture fx;
+  std::vector<TaskFuture> ensemble;
+  for (int i = 0; i < 8; ++i) {
+    ensemble.push_back(fx.flow->submit(fx.quick(10.0 + i)));
+  }
+  bool joined = false;
+  fx.flow->when_all(ensemble, [&] {
+    joined = true;
+    for (const auto& f : ensemble) EXPECT_TRUE(f.done());
+  });
+  fx.session.run();
+  EXPECT_TRUE(joined);
+}
+
+TEST(AsyncFlow, WhenAllWithAlreadyDoneFutures) {
+  FlowFixture fx;
+  auto a = fx.flow->submit(fx.quick(1.0));
+  fx.session.run();
+  bool joined = false;
+  fx.flow->when_all({a}, [&] { joined = true; });
+  fx.session.run();
+  EXPECT_TRUE(joined);
+}
+
+TEST(AsyncFlow, WhenAnyFiresExactlyOnceWithTheWinner) {
+  FlowFixture fx;
+  auto slow = fx.flow->submit(fx.quick(100.0));
+  auto fast = fx.flow->submit(fx.quick(5.0));
+  int fires = 0;
+  std::string winner;
+  fx.flow->when_any({slow, fast}, [&](const Task& task) {
+    ++fires;
+    winner = task.uid();
+  });
+  fx.session.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(winner, fast.uid());
+}
+
+TEST(AsyncFlow, FailedTasksReportThroughFutures) {
+  FlowFixture fx;
+  auto desc = fx.quick();
+  desc.fail_probability = 1.0;
+  auto future = fx.flow->submit(std::move(desc));
+  TaskState seen = TaskState::kNew;
+  future.then([&](const Task& task) { seen = task.state(); });
+  fx.session.run();
+  EXPECT_TRUE(future.done());
+  EXPECT_FALSE(future.succeeded());
+  EXPECT_EQ(seen, TaskState::kFailed);
+}
+
+TEST(AsyncFlow, InvalidFutureMisuseThrows) {
+  FlowFixture fx;
+  TaskFuture invalid;
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_THROW(invalid.then([](const Task&) {}), util::Error);
+  EXPECT_THROW(invalid.uid(), util::Error);
+  EXPECT_THROW(fx.flow->when_all({invalid}, [] {}), util::Error);
+  EXPECT_THROW(fx.flow->when_any({}, [](const Task&) {}), util::Error);
+}
+
+TEST(AsyncFlow, PipelinePattern) {
+  // The RAF idiom: a dependency chain expressed as continuations, with a
+  // fan-out/fan-in in the middle.
+  FlowFixture fx;
+  bool campaign_done = false;
+  auto prepare = fx.flow->submit(fx.quick(5.0));
+  prepare.then([&](const Task&) {
+    std::vector<TaskFuture> sims;
+    for (int i = 0; i < 6; ++i) {
+      sims.push_back(fx.flow->submit(fx.quick(20.0)));
+    }
+    fx.flow->when_all(sims, [&] {
+      fx.flow->submit(fx.quick(3.0)).then([&](const Task&) {
+        campaign_done = true;
+      });
+    });
+  });
+  fx.session.run();
+  EXPECT_TRUE(campaign_done);
+  // prepare(5) -> sims(20) -> reduce(3): makespan spans the chain.
+  const auto& metrics = fx.pilot->agent().profiler().metrics();
+  EXPECT_EQ(metrics.tasks_done(), 8u);
+  EXPECT_GT(metrics.makespan(), 28.0);
+}
+
+}  // namespace
+}  // namespace flotilla::core

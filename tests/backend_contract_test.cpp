@@ -1,0 +1,194 @@
+// Backend contract: parameterized conformance suite run against all three
+// task runtime systems (srun, flux, dragon).
+//
+// The RP agent relies on every TaskBackend honoring the same contract
+// (§3.2: "tasks launched via Flux or Dragon continue to pass through RP's
+// full task lifecycle"): asynchronous bootstrap reported exactly once,
+// exactly one start + one completion event per submitted task, resources
+// fully returned after the run, clean failure semantics after shutdown.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "dragon/dragon_backend.hpp"
+#include "flux/flux_backend.hpp"
+#include "platform/backend.hpp"
+#include "platform/calibration.hpp"
+#include "platform/cluster.hpp"
+#include "slurm/srun_backend.hpp"
+#include "util/strfmt.hpp"
+
+namespace flotilla {
+namespace {
+
+struct BackendHarness {
+  sim::Engine engine;
+  platform::Cluster cluster{platform::frontier_spec(), 4};
+  std::unique_ptr<platform::TaskBackend> backend;
+
+  explicit BackendHarness(const std::string& kind) {
+    const auto cal = platform::frontier_calibration();
+    const platform::NodeRange span{0, 4};
+    if (kind == "srun") {
+      backend = std::make_unique<slurm::SrunBackend>(engine, cluster, span,
+                                                     cal.slurm, 42);
+    } else if (kind == "flux") {
+      backend = std::make_unique<flux::FluxBackend>(engine, cluster, span, 2,
+                                                    cal.flux, 42);
+    } else {
+      backend = std::make_unique<dragon::DragonBackend>(engine, cluster,
+                                                        span, cal.dragon, 42);
+    }
+  }
+
+  bool bootstrap() {
+    int calls = 0;
+    bool ok = false;
+    backend->bootstrap([&](bool success, const std::string&) {
+      ++calls;
+      ok = success;
+    });
+    engine.run(300.0);
+    EXPECT_EQ(calls, 1) << "ready handler must fire exactly once";
+    return ok;
+  }
+};
+
+class BackendContract : public ::testing::TestWithParam<std::string> {};
+
+platform::LaunchRequest request_of(int i, double duration = 0.0,
+                                   std::int64_t cores = 1) {
+  platform::LaunchRequest req;
+  req.id = util::cat("task.", i);
+  req.demand.cores = cores;
+  req.duration = duration;
+  return req;
+}
+
+TEST_P(BackendContract, BootstrapReportsReadyOnce) {
+  BackendHarness harness(GetParam());
+  EXPECT_FALSE(harness.backend->healthy());
+  EXPECT_TRUE(harness.bootstrap());
+  EXPECT_TRUE(harness.backend->healthy());
+}
+
+TEST_P(BackendContract, AcceptsExecutables) {
+  BackendHarness harness(GetParam());
+  EXPECT_TRUE(
+      harness.backend->accepts(platform::TaskModality::kExecutable));
+}
+
+TEST_P(BackendContract, ExactlyOneStartAndOneCompletionPerTask) {
+  BackendHarness harness(GetParam());
+  ASSERT_TRUE(harness.bootstrap());
+  std::multiset<std::string> starts, completions;
+  harness.backend->on_task_start(
+      [&](const std::string& id) { starts.insert(id); });
+  harness.backend->on_task_complete(
+      [&](const platform::LaunchOutcome& outcome) {
+        completions.insert(outcome.id);
+        EXPECT_TRUE(outcome.success);
+        EXPECT_GE(outcome.finished, outcome.started);
+      });
+  const int n = 100;
+  for (int i = 0; i < n; ++i) harness.backend->submit(request_of(i, 1.0));
+  harness.engine.run();
+  EXPECT_EQ(starts.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(completions.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(starts.count(util::cat("task.", i)), 1u);
+    EXPECT_EQ(completions.count(util::cat("task.", i)), 1u);
+  }
+  EXPECT_EQ(harness.backend->inflight(), 0u);
+}
+
+TEST_P(BackendContract, ResourcesFullyReturnedAfterRun) {
+  BackendHarness harness(GetParam());
+  ASSERT_TRUE(harness.bootstrap());
+  harness.backend->on_task_complete([](const platform::LaunchOutcome&) {});
+  for (int i = 0; i < 300; ++i) {
+    harness.backend->submit(request_of(i, 10.0, 2));
+  }
+  harness.engine.run();
+  EXPECT_EQ(harness.cluster.free_cores({0, 4}), 4 * 56);
+  EXPECT_EQ(harness.cluster.free_gpus({0, 4}), 4 * 8);
+}
+
+TEST_P(BackendContract, StartPrecedesCompletionInVirtualTime) {
+  BackendHarness harness(GetParam());
+  ASSERT_TRUE(harness.bootstrap());
+  sim::Time start_time = -1.0, end_time = -1.0;
+  harness.backend->on_task_start(
+      [&](const std::string&) { start_time = harness.engine.now(); });
+  harness.backend->on_task_complete(
+      [&](const platform::LaunchOutcome&) { end_time = harness.engine.now(); });
+  harness.backend->submit(request_of(0, 42.0));
+  harness.engine.run();
+  ASSERT_GE(start_time, 0.0);
+  // Payload duration is respected exactly (it is virtual sleep).
+  EXPECT_NEAR(end_time - start_time, 42.0, 1.0);
+}
+
+TEST_P(BackendContract, FailureInjectionIsReportedNotDropped) {
+  BackendHarness harness(GetParam());
+  ASSERT_TRUE(harness.bootstrap());
+  int ok = 0, failed = 0;
+  harness.backend->on_task_complete(
+      [&](const platform::LaunchOutcome& outcome) {
+        outcome.success ? ++ok : ++failed;
+      });
+  for (int i = 0; i < 300; ++i) {
+    auto req = request_of(i);
+    req.fail_probability = 0.3;
+    harness.backend->submit(req);
+  }
+  harness.engine.run();
+  EXPECT_EQ(ok + failed, 300);
+  EXPECT_GT(failed, 30);
+  EXPECT_LT(failed, 170);
+  EXPECT_EQ(harness.backend->inflight(), 0u);
+}
+
+TEST_P(BackendContract, ShutdownFailsInflightAndReportsUnhealthy) {
+  BackendHarness harness(GetParam());
+  ASSERT_TRUE(harness.bootstrap());
+  int completions = 0;
+  harness.backend->on_task_complete(
+      [&](const platform::LaunchOutcome&) { ++completions; });
+  for (int i = 0; i < 50; ++i) {
+    harness.backend->submit(request_of(i, 1000.0));
+  }
+  harness.engine.run(harness.engine.now() + 30.0);
+  harness.backend->shutdown();
+  harness.engine.run();
+  EXPECT_FALSE(harness.backend->healthy());
+  EXPECT_EQ(completions, 50);  // every task gets a terminal event
+  EXPECT_EQ(harness.backend->inflight(), 0u);
+}
+
+TEST_P(BackendContract, DeterministicAcrossIdenticalRuns) {
+  auto fingerprint = [](const std::string& kind) {
+    BackendHarness harness(kind);
+    EXPECT_TRUE(harness.bootstrap());
+    double sum = 0.0;
+    harness.backend->on_task_complete(
+        [&](const platform::LaunchOutcome& outcome) {
+          sum += outcome.started + 3.0 * outcome.finished;
+        });
+    for (int i = 0; i < 200; ++i) {
+      harness.backend->submit(request_of(i, 5.0));
+    }
+    harness.engine.run();
+    return sum;
+  };
+  EXPECT_DOUBLE_EQ(fingerprint(GetParam()), fingerprint(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendContract,
+                         ::testing::Values("srun", "flux", "dragon"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace flotilla

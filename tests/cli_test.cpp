@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace flotilla::util {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli("test tool");
+  cli.option("nodes", "16", "pilot size")
+      .option("backend", "flux", "backend name")
+      .option("rate", "1.5", "a rate")
+      .flag("verbose", "chatty output");
+  return cli;
+}
+
+bool parse(CliParser& cli, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return cli.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(CliParser, DefaultsApplyWhenAbsent) {
+  auto cli = make_parser();
+  ASSERT_TRUE(parse(cli, {}));
+  EXPECT_EQ(cli.get_int("nodes"), 16);
+  EXPECT_EQ(cli.get("backend"), "flux");
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 1.5);
+  EXPECT_FALSE(cli.get_flag("verbose"));
+}
+
+TEST(CliParser, SpaceAndEqualsSyntaxBothWork) {
+  auto cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--nodes", "64", "--backend=dragon"}));
+  EXPECT_EQ(cli.get_int("nodes"), 64);
+  EXPECT_EQ(cli.get("backend"), "dragon");
+}
+
+TEST(CliParser, FlagsAndPositionals) {
+  auto cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--verbose", "input.csv", "more"}));
+  EXPECT_TRUE(cli.get_flag("verbose"));
+  EXPECT_EQ(cli.positional(),
+            (std::vector<std::string>{"input.csv", "more"}));
+}
+
+TEST(CliParser, HelpReturnsFalse) {
+  auto cli = make_parser();
+  EXPECT_FALSE(parse(cli, {"--help"}));
+  EXPECT_NE(cli.usage().find("--nodes"), std::string::npos);
+}
+
+TEST(CliParser, UnknownOptionThrows) {
+  auto cli = make_parser();
+  EXPECT_THROW(parse(cli, {"--nodez", "4"}), Error);
+}
+
+TEST(CliParser, MissingValueThrows) {
+  auto cli = make_parser();
+  EXPECT_THROW(parse(cli, {"--nodes"}), Error);
+}
+
+TEST(CliParser, FlagWithValueThrows) {
+  auto cli = make_parser();
+  EXPECT_THROW(parse(cli, {"--verbose=yes"}), Error);
+}
+
+TEST(CliParser, TypeErrorsThrow) {
+  auto cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--nodes", "abc"}));
+  EXPECT_THROW(cli.get_int("nodes"), Error);
+  EXPECT_THROW(cli.get("undeclared"), Error);
+  EXPECT_THROW(cli.get_flag("nodes"), Error);  // not a flag
+}
+
+TEST(CliParser, DuplicateDeclarationThrows) {
+  CliParser cli;
+  cli.option("x", "1", "");
+  EXPECT_THROW(cli.option("x", "2", ""), Error);
+  EXPECT_THROW(cli.flag("x", ""), Error);
+}
+
+}  // namespace
+}  // namespace flotilla::util

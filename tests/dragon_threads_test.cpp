@@ -1,0 +1,189 @@
+// Tests for Dragon's real threaded components: the MPMC queue, the SPSC
+// shmem channel, and the warm-worker function executor.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "dragon/function_executor.hpp"
+#include "dragon/mpmc_queue.hpp"
+#include "dragon/shmem_channel.hpp"
+
+namespace flotilla::dragon {
+namespace {
+
+// --------------------------------------------------------------- MpmcQueue
+
+TEST(MpmcQueue, SingleThreadFifo) {
+  MpmcQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.try_push(i));
+  EXPECT_EQ(queue.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    const auto v = queue.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(MpmcQueue, TryPushFailsWhenFull) {
+  MpmcQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));
+}
+
+TEST(MpmcQueue, CloseDrainsThenSignalsEnd) {
+  MpmcQueue<int> queue(8);
+  queue.try_push(1);
+  queue.try_push(2);
+  queue.close();
+  EXPECT_FALSE(queue.push(3));  // pushes fail after close
+  EXPECT_EQ(queue.pop(), 1);    // drains remain
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_FALSE(queue.pop().has_value());  // then end-of-stream
+}
+
+TEST(MpmcQueue, ManyProducersManyConsumersDeliverExactlyOnce) {
+  MpmcQueue<int> queue(64);
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 2000;
+  std::atomic<long> sum{0};
+  std::atomic<int> count{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = queue.pop()) {
+        sum.fetch_add(*v, std::memory_order_relaxed);
+        count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<size_t>(p)].join();
+  queue.close();
+  for (int c = 0; c < kConsumers; ++c) {
+    threads[static_cast<size_t>(kProducers + c)].join();
+  }
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+// ------------------------------------------------------------ ShmemChannel
+
+TEST(ShmemChannel, CapacityRoundsUpToPowerOfTwo) {
+  ShmemChannel<int> chan(5);
+  EXPECT_GE(chan.capacity(), 5u);
+  EXPECT_TRUE(chan.empty());
+}
+
+TEST(ShmemChannel, SingleThreadSendReceive) {
+  ShmemChannel<int> chan(4);
+  EXPECT_TRUE(chan.try_send(10));
+  EXPECT_TRUE(chan.try_send(20));
+  EXPECT_EQ(chan.size(), 2u);
+  EXPECT_EQ(chan.try_receive(), 10);
+  EXPECT_EQ(chan.try_receive(), 20);
+  EXPECT_FALSE(chan.try_receive().has_value());
+}
+
+TEST(ShmemChannel, FullChannelRejectsSend) {
+  ShmemChannel<int> chan(2);
+  std::size_t sent = 0;
+  while (chan.try_send(static_cast<int>(sent))) ++sent;
+  EXPECT_EQ(sent, chan.capacity());
+  EXPECT_TRUE(chan.try_receive().has_value());
+  EXPECT_TRUE(chan.try_send(99));  // slot freed
+}
+
+TEST(ShmemChannel, SpscStressPreservesOrderAndContent) {
+  ShmemChannel<int> chan(128);
+  constexpr int kItems = 200000;
+  std::thread producer([&chan] {
+    for (int i = 0; i < kItems; ++i) {
+      while (!chan.try_send(i)) std::this_thread::yield();
+    }
+  });
+  int expected = 0;
+  while (expected < kItems) {
+    if (auto v = chan.try_receive()) {
+      ASSERT_EQ(*v, expected);  // strict FIFO
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(chan.empty());
+}
+
+// -------------------------------------------------------- FunctionExecutor
+
+TEST(FunctionExecutor, ExecutesSubmittedFunctions) {
+  FunctionExecutor executor(2);
+  auto f1 = executor.submit([] { return 21 * 2; });
+  auto f2 = executor.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+  executor.shutdown();
+  EXPECT_EQ(executor.tasks_executed(), 2u);
+}
+
+TEST(FunctionExecutor, PropagatesExceptionsThroughFutures) {
+  FunctionExecutor executor(1);
+  auto f = executor.submit(
+      []() -> int { throw std::runtime_error("inference failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(FunctionExecutor, ParallelForCoversAllIndices) {
+  FunctionExecutor executor(4);
+  std::vector<std::atomic<int>> hits(500);
+  executor.parallel_for(hits.size(),
+                        [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(FunctionExecutor, HighVolumeThroughput) {
+  FunctionExecutor executor(4, 256);
+  std::atomic<long> sum{0};
+  std::vector<std::future<void>> futures;
+  constexpr int kTasks = 10000;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(
+        executor.submit([&sum, i] { sum.fetch_add(i); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), static_cast<long>(kTasks) * (kTasks - 1) / 2);
+  EXPECT_EQ(executor.tasks_executed(), static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(FunctionExecutor, SubmitAfterShutdownThrows) {
+  FunctionExecutor executor(1);
+  executor.shutdown();
+  EXPECT_THROW(executor.submit([] { return 1; }), std::runtime_error);
+}
+
+TEST(FunctionExecutor, ShutdownIsIdempotent) {
+  FunctionExecutor executor(2);
+  executor.shutdown();
+  executor.shutdown();  // no crash, no hang
+}
+
+TEST(FunctionExecutor, DefaultsToHardwareConcurrency) {
+  FunctionExecutor executor;
+  EXPECT_GE(executor.worker_count(), 1u);
+}
+
+}  // namespace
+}  // namespace flotilla::dragon

@@ -1,0 +1,290 @@
+// Edge-case coverage across the simulated runtime systems and analytics:
+// degenerate demands, parameter extremes, misuse, and the timeline sampler.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "analytics/timeline.hpp"
+#include "core/flotilla.hpp"
+#include "dragon/dragon_backend.hpp"
+#include "flux/instance.hpp"
+#include "platform/calibration.hpp"
+#include "platform/cluster.hpp"
+#include "slurm/srun_backend.hpp"
+#include "util/error.hpp"
+#include "util/strfmt.hpp"
+
+namespace flotilla {
+namespace {
+
+using platform::Cluster;
+using platform::NodeRange;
+using platform::frontier_calibration;
+using platform::frontier_spec;
+
+// ------------------------------------------------------------- flux edges
+
+TEST(FluxEdge, SubmitBeforeBootstrapThrows) {
+  sim::Engine engine;
+  Cluster cluster(frontier_spec(), 1);
+  flux::Instance instance("flux.0", engine, cluster, {0, 1},
+                          frontier_calibration().flux, 1);
+  flux::Job job;
+  job.id = "early";
+  EXPECT_THROW(instance.submit(std::move(job)), util::Error);
+}
+
+TEST(FluxEdge, DoubleBootstrapThrows) {
+  sim::Engine engine;
+  Cluster cluster(frontier_spec(), 1);
+  flux::Instance instance("flux.0", engine, cluster, {0, 1},
+                          frontier_calibration().flux, 1);
+  instance.bootstrap([] {});
+  EXPECT_THROW(instance.bootstrap([] {}), util::Error);
+}
+
+TEST(FluxEdge, ZeroDemandNullJobRuns) {
+  sim::Engine engine;
+  Cluster cluster(frontier_spec(), 1);
+  flux::Instance instance("flux.0", engine, cluster, {0, 1},
+                          frontier_calibration().flux, 1);
+  bool finished = false;
+  instance.on_event([&](const flux::JobEvent& event) {
+    if (event.kind == flux::JobEventKind::kFinish) finished = true;
+  });
+  instance.bootstrap([&] {
+    flux::Job job;
+    job.id = "null.0";
+    job.demand.cores = 0;
+    instance.submit(std::move(job));
+  });
+  engine.run();
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(cluster.free_cores({0, 1}), 56);
+}
+
+TEST(FluxEdge, ExecParallelismPerNodeSpeedsSpawn) {
+  auto rate_with = [](int parallel) {
+    sim::Engine engine;
+    Cluster cluster(frontier_spec(), 1);
+    auto cal = frontier_calibration().flux;
+    cal.exec_parallel_per_node = parallel;
+    cal.jitter_cv = 0.0;
+    cal.exec_coord_base = 0.0;  // keep rank 0 out of the way: spawn-bound
+    flux::Instance instance("flux.0", engine, cluster, {0, 1}, cal, 1);
+    sim::RateSeries starts(1.0);
+    instance.on_event([&](const flux::JobEvent& event) {
+      if (event.kind == flux::JobEventKind::kStart) {
+        starts.record(engine.now());
+      }
+    });
+    instance.bootstrap([&] {
+      for (int i = 0; i < 500; ++i) {
+        flux::Job job;
+        job.id = util::cat("t.", i);
+        job.demand.cores = 1;
+        instance.submit(std::move(job));
+      }
+    });
+    engine.run();
+    return starts.window_rate();
+  };
+  EXPECT_NEAR(rate_with(2) / rate_with(1), 2.0, 0.3);
+}
+
+TEST(FluxEdge, CrashBeforeAnyJobIsClean) {
+  sim::Engine engine;
+  Cluster cluster(frontier_spec(), 2);
+  flux::Instance instance("flux.0", engine, cluster, {0, 2},
+                          frontier_calibration().flux, 1);
+  instance.bootstrap([] {});
+  engine.run();
+  instance.crash("idle crash");
+  instance.crash("second crash is a no-op");
+  EXPECT_FALSE(instance.healthy());
+  EXPECT_EQ(instance.running_jobs(), 0u);
+}
+
+// ------------------------------------------------------------- srun edges
+
+TEST(SrunEdge, GpuTasksHoldGpusForTheirLifetime) {
+  sim::Engine engine;
+  Cluster cluster(frontier_spec(), 1);
+  slurm::SrunBackend backend(engine, cluster, {0, 1},
+                             frontier_calibration().slurm, 42);
+  backend.bootstrap([](bool, const std::string&) {});
+  engine.run(1.0);
+  backend.on_task_complete([](const platform::LaunchOutcome&) {});
+  platform::LaunchRequest req;
+  req.id = "gpu.0";
+  req.demand.cores = 1;
+  req.demand.gpus = 8;
+  req.duration = 100.0;
+  backend.submit(std::move(req));
+  engine.run(50.0);
+  EXPECT_EQ(cluster.free_gpus({0, 1}), 0);
+  engine.run();
+  EXPECT_EQ(cluster.free_gpus({0, 1}), 8);
+}
+
+TEST(SrunEdge, BackoffGrowsGeometricallyUpToCap) {
+  // White-box: three whole-node tasks serialize; the last one's retries
+  // must span a geometric ladder, bounded by step_retry_max.
+  sim::Engine engine;
+  Cluster cluster(frontier_spec(), 1);
+  auto cal = frontier_calibration().slurm;
+  slurm::SrunBackend backend(engine, cluster, {0, 1}, cal, 42);
+  backend.bootstrap([](bool, const std::string&) {});
+  engine.run(1.0);
+  int done = 0;
+  backend.on_task_complete(
+      [&](const platform::LaunchOutcome&) { ++done; });
+  for (int i = 0; i < 3; ++i) {
+    platform::LaunchRequest req;
+    req.id = util::cat("big.", i);
+    req.demand.cores = 56;
+    req.duration = 400.0;
+    backend.submit(std::move(req));
+  }
+  engine.run();
+  EXPECT_EQ(done, 3);
+  // The third task waited ~800 s through retries; the controller served
+  // far fewer retries than a fixed-interval poller would need, because the
+  // backoff is capped geometric, not constant.
+  const auto retries = backend.controller().retries_served();
+  EXPECT_GT(retries, 5u);
+  EXPECT_LT(retries, 200u);
+}
+
+// ----------------------------------------------------------- dragon edges
+
+TEST(DragonEdge, FunctionTasksShareCoresWithExecTasks) {
+  sim::Engine engine;
+  Cluster cluster(frontier_spec(), 1);
+  dragon::DragonBackend backend(engine, cluster, {0, 1},
+                                frontier_calibration().dragon, 42);
+  bool ready = false;
+  backend.bootstrap([&](bool ok, const std::string&) { ready = ok; });
+  engine.run(30.0);
+  ASSERT_TRUE(ready);
+  backend.on_task_complete([](const platform::LaunchOutcome&) {});
+  // 28 exec + 28 func tasks of 2 cores each exactly fill 56 cores x2.
+  for (int i = 0; i < 56; ++i) {
+    platform::LaunchRequest req;
+    req.id = util::cat("t.", i);
+    req.demand.cores = 2;
+    req.duration = 50.0;
+    req.modality = i % 2 ? platform::TaskModality::kFunction
+                         : platform::TaskModality::kExecutable;
+    backend.submit(std::move(req));
+  }
+  engine.run(engine.now() + 30.0);
+  EXPECT_EQ(cluster.free_cores({0, 1}), 0);
+  EXPECT_EQ(backend.runtime().running(), 28u);
+  engine.run();
+  EXPECT_EQ(cluster.free_cores({0, 1}), 56);
+}
+
+TEST(DragonEdge, PendingTasksSurviveLongOccupancy) {
+  sim::Engine engine;
+  Cluster cluster(frontier_spec(), 1);
+  dragon::DragonBackend backend(engine, cluster, {0, 1},
+                                frontier_calibration().dragon, 42);
+  backend.bootstrap([](bool, const std::string&) {});
+  engine.run(30.0);
+  std::vector<sim::Time> finish_times;
+  backend.on_task_complete([&](const platform::LaunchOutcome& outcome) {
+    finish_times.push_back(outcome.finished);
+  });
+  platform::LaunchRequest hog;
+  hog.id = "hog";
+  hog.demand.cores = 56;
+  hog.duration = 1000.0;
+  backend.submit(std::move(hog));
+  platform::LaunchRequest late;
+  late.id = "late";
+  late.demand.cores = 1;
+  late.duration = 1.0;
+  backend.submit(std::move(late));
+  engine.run();
+  ASSERT_EQ(finish_times.size(), 2u);
+  EXPECT_GT(finish_times[1], 1000.0);  // waited for the hog
+}
+
+// -------------------------------------------------------------- timeline
+
+TEST(Timeline, SamplesUntilPredicateStops) {
+  core::Session session(frontier_spec(), 2, 42);
+  core::PilotManager pmgr(session);
+  auto& pilot = pmgr.submit({.nodes = 2, .backends = {{"flux", 1}}});
+  pilot.launch([](bool, const std::string&) {});
+  session.run(120.0);
+  core::TaskManager tmgr(session, pilot.agent());
+  tmgr.on_complete([](const core::Task&) {});
+  analytics::Timeline timeline(session.engine(),
+                               pilot.agent().profiler().metrics(), 10.0);
+  for (int i = 0; i < 112; ++i) {
+    core::TaskDescription desc;
+    desc.demand.cores = 1;
+    desc.duration = 100.0;
+    tmgr.submit(std::move(desc));
+  }
+  timeline.start([&] { return !tmgr.idle(); });
+  session.run();
+  ASSERT_GE(timeline.samples().size(), 5u);
+  // The running series rises to ~112 and the launch-rate series sums to
+  // the task count.
+  double peak = 0, launches = 0;
+  for (const double v : timeline.running_series()) peak = std::max(peak, v);
+  for (const double r : timeline.launch_rate_series()) launches += r * 10.0;
+  EXPECT_NEAR(peak, 112.0, 2.0);
+  EXPECT_NEAR(launches, 112.0, 1.0);
+  std::ostringstream csv;
+  timeline.write_csv(csv);
+  EXPECT_NE(csv.str().find("cores_busy"), std::string::npos);
+}
+
+TEST(Timeline, StepReportChunksWindows) {
+  sim::Engine engine;
+  analytics::RunMetrics metrics;
+  analytics::Timeline timeline(engine, metrics, 10.0);
+  // Launch 3 tasks at t=5 (cores 2 each), end them at t=35.
+  engine.at(5.0, [&] {
+    for (int i = 0; i < 3; ++i) metrics.on_launch(engine.now(), 2, 0);
+  });
+  engine.at(35.0, [&] {
+    for (int i = 0; i < 3; ++i) metrics.on_attempt_end(engine.now(), 2, 0);
+  });
+  engine.at(60.0, [&] { timeline.stop(); });
+  timeline.start();
+  engine.run(100.0);
+  const auto steps = analytics::step_report(timeline, 20.0);
+  ASSERT_GE(steps.size(), 3u);
+  // Window [0,20): samples at 0 (idle), 10 (3 running) -> mean 1.5.
+  EXPECT_NEAR(steps[0].mean_tasks_running, 1.5, 0.01);
+  EXPECT_NEAR(steps[0].mean_cores_busy, 3.0, 0.01);
+  EXPECT_EQ(steps[0].launches, 3u);
+  // Window [20,40): samples at 20,30 running -> mean 3.
+  EXPECT_NEAR(steps[1].mean_tasks_running, 3.0, 0.01);
+  // Window [40,60): drained.
+  EXPECT_NEAR(steps[2].mean_tasks_running, 0.0, 0.01);
+  EXPECT_EQ(steps[2].launches, 0u);
+  EXPECT_THROW(analytics::step_report(timeline, 0.0), util::Error);
+}
+
+TEST(Timeline, StopEndsSampling) {
+  sim::Engine engine;
+  analytics::RunMetrics metrics;
+  analytics::Timeline timeline(engine, metrics, 5.0);
+  timeline.start();
+  engine.at(22.0, [&] { timeline.stop(); });
+  engine.run(100.0);
+  // Samples at 0,5,10,15,20, then the 25 s tick observed stop.
+  EXPECT_LE(timeline.samples().size(), 6u);
+  EXPECT_GE(timeline.samples().size(), 5u);
+  EXPECT_THROW(timeline.start(), util::Error);
+}
+
+}  // namespace
+}  // namespace flotilla

@@ -1,0 +1,179 @@
+// Tests for gang (co-)scheduling: atomic placement and synchronized start
+// of tightly coupled task groups (§2).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/flotilla.hpp"
+#include "flux/flux_backend.hpp"
+#include "util/strfmt.hpp"
+
+namespace flotilla::core {
+namespace {
+
+struct GangFixture {
+  Session session{platform::frontier_spec(), 8, 42};
+  PilotManager pmgr{session};
+  Pilot* pilot = nullptr;
+  std::unique_ptr<TaskManager> tmgr;
+
+  explicit GangFixture(int partitions = 1,
+                       std::vector<BackendSpec> backends = {}) {
+    PilotDescription desc;
+    desc.nodes = 8;
+    desc.backends = backends.empty()
+                        ? std::vector<BackendSpec>{{.type = "flux",
+                                                    .partitions = partitions}}
+                        : std::move(backends);
+    pilot = &pmgr.submit(std::move(desc));
+    pilot->launch([](bool ok, const std::string&) { EXPECT_TRUE(ok); });
+    session.run(240.0);
+    tmgr = std::make_unique<TaskManager>(session, pilot->agent());
+  }
+
+  std::vector<std::string> submit_gang(const std::string& tag, int members,
+                                       std::int64_t cores,
+                                       double duration = 60.0) {
+    std::vector<std::string> uids;
+    for (int i = 0; i < members; ++i) {
+      TaskDescription desc;
+      desc.name = util::cat(tag, ".", i);
+      desc.demand.cores = cores;
+      desc.duration = duration;
+      desc.gang = tag;
+      desc.gang_size = members;
+      uids.push_back(tmgr->submit(std::move(desc)));
+    }
+    return uids;
+  }
+};
+
+TEST(GangScheduling, MembersStartTogether) {
+  GangFixture fx;
+  fx.tmgr->on_complete([](const Task&) {});
+  const auto uids = fx.submit_gang("ensemble", 6, 56);
+  fx.session.run();
+  std::vector<sim::Time> starts;
+  for (const auto& uid : uids) {
+    sim::Time t = 0;
+    ASSERT_TRUE(fx.tmgr->task(uid).state_time(TaskState::kRunning, t));
+    EXPECT_EQ(fx.tmgr->task(uid).state(), TaskState::kDone);
+    starts.push_back(t);
+  }
+  // Synchronized start: every member begins at the same instant (after the
+  // shared gang wireup).
+  for (const auto t : starts) EXPECT_DOUBLE_EQ(t, starts.front());
+}
+
+TEST(GangScheduling, PlacementIsAtomicUnderContention) {
+  GangFixture fx;
+  fx.tmgr->on_complete([](const Task&) {});
+  // A hog takes 5 of 8 nodes for 200 s; a 6-node gang cannot partially
+  // start — it must wait until the hog ends even though 3 nodes are free.
+  TaskDescription hog;
+  hog.demand.cores = 5 * 56;
+  hog.demand.cores_per_node = 56;
+  hog.duration = 200.0;
+  fx.tmgr->submit(std::move(hog));
+  fx.session.run(fx.session.now() + 50.0);
+  const auto uids = fx.submit_gang("wave", 6, 56);
+  fx.session.run();
+  for (const auto& uid : uids) {
+    sim::Time t = 0;
+    ASSERT_TRUE(fx.tmgr->task(uid).state_time(TaskState::kRunning, t));
+    EXPECT_GT(t, 200.0);  // no member started on the 3 free nodes early
+  }
+}
+
+TEST(GangScheduling, BackfillFlowsAroundABlockedGang) {
+  GangFixture fx;
+  fx.tmgr->on_complete([](const Task&) {});
+  TaskDescription hog;
+  hog.demand.cores = 5 * 56;
+  hog.demand.cores_per_node = 56;
+  hog.duration = 300.0;
+  fx.tmgr->submit(std::move(hog));
+  fx.session.run(fx.session.now() + 30.0);
+  fx.submit_gang("blocked", 6, 56, 60.0);
+  TaskDescription small;
+  small.demand.cores = 1;
+  small.duration = 10.0;
+  const auto small_uid = fx.tmgr->submit(std::move(small));
+  fx.session.run();
+  sim::Time small_start = 0;
+  ASSERT_TRUE(
+      fx.tmgr->task(small_uid).state_time(TaskState::kRunning, small_start));
+  EXPECT_LT(small_start, 100.0);  // backfilled around the waiting gang
+}
+
+TEST(GangScheduling, AllMembersLandOnOneInstance) {
+  GangFixture fx(/*partitions=*/4);
+  std::map<std::string, int> on_backend;
+  fx.tmgr->on_complete([](const Task&) {});
+  // 2-node gang of 2 members fits one 2-node partition only as a unit.
+  const auto uids = fx.submit_gang("pair", 2, 56, 30.0);
+  fx.session.run();
+  for (const auto& uid : uids) {
+    EXPECT_EQ(fx.tmgr->task(uid).state(), TaskState::kDone);
+  }
+  auto* fluxb =
+      dynamic_cast<flux::FluxBackend*>(fx.pilot->agent().backend("flux"));
+  ASSERT_NE(fluxb, nullptr);
+  int instances_used = 0;
+  for (int i = 0; i < fluxb->partitions(); ++i) {
+    if (fluxb->instance(i).jobs_completed() > 0) ++instances_used;
+  }
+  EXPECT_EQ(instances_used, 1);
+}
+
+TEST(GangScheduling, GangWithoutCoschedulingBackendFails) {
+  GangFixture fx(1, {{"dragon"}});
+  TaskState final_state = TaskState::kNew;
+  std::string error;
+  fx.tmgr->on_complete([&](const Task& task) {
+    final_state = task.state();
+    error = task.error();
+  });
+  TaskDescription member;
+  member.demand.cores = 1;
+  member.gang = "g";
+  member.gang_size = 1;
+  fx.tmgr->submit(std::move(member));
+  fx.session.run();
+  EXPECT_EQ(final_state, TaskState::kFailed);
+  EXPECT_NE(error.find("co-scheduling"), std::string::npos);
+}
+
+TEST(GangScheduling, IncompleteGangWaitsForAllMembers) {
+  GangFixture fx;
+  std::vector<sim::Time> starts;
+  fx.pilot->agent().on_task_start(
+      [&](const Task&) { starts.push_back(fx.session.now()); });
+  fx.tmgr->on_complete([](const Task&) {});
+  // Submit 2 of 3 members now; the third 100 s later.
+  for (int i = 0; i < 2; ++i) {
+    TaskDescription desc;
+    desc.demand.cores = 1;
+    desc.duration = 10.0;
+    desc.gang = "trio";
+    desc.gang_size = 3;
+    fx.tmgr->submit(std::move(desc));
+  }
+  fx.session.engine().in(100.0, [&] {
+    TaskDescription desc;
+    desc.demand.cores = 1;
+    desc.duration = 10.0;
+    desc.gang = "trio";
+    desc.gang_size = 3;
+    fx.tmgr->submit(std::move(desc));
+  });
+  fx.session.run();
+  ASSERT_EQ(starts.size(), 3u);
+  // Nothing started before the last member arrived at t=100+pilot setup.
+  for (const auto t : starts) EXPECT_GT(t, 100.0);
+}
+
+}  // namespace
+}  // namespace flotilla::core

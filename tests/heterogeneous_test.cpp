@@ -1,0 +1,77 @@
+// Tests for the heterogeneous mixture generator.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/error.hpp"
+#include "workloads/heterogeneous.hpp"
+
+namespace flotilla::workloads {
+namespace {
+
+TEST(Heterogeneous, MixtureFrequenciesFollowWeights) {
+  const auto tasks = heterogeneous_tasks(4000, default_mixture(), 7);
+  std::map<std::string, int> counts;
+  for (const auto& task : tasks) ++counts[task.stage];
+  EXPECT_NEAR(counts["inference"], 2800, 200);  // 70%
+  EXPECT_NEAR(counts["analysis"], 800, 150);    // 20%
+  EXPECT_NEAR(counts["training"], 320, 100);    // 8%
+  EXPECT_NEAR(counts["mpi_sim"], 80, 50);       // 2%
+}
+
+TEST(Heterogeneous, ClassShapesPropagate) {
+  const auto tasks = heterogeneous_tasks(500, default_mixture(), 7);
+  for (const auto& task : tasks) {
+    if (task.stage == "mpi_sim") {
+      EXPECT_EQ(task.demand.cores, 112);
+      EXPECT_EQ(task.demand.cores_per_node, 56);
+    }
+    if (task.stage == "inference") {
+      EXPECT_EQ(task.modality, platform::TaskModality::kFunction);
+      EXPECT_EQ(task.demand.cores, 1);
+    }
+    if (task.stage == "training") EXPECT_EQ(task.demand.gpus, 2);
+  }
+}
+
+TEST(Heterogeneous, DurationsJitterAroundClassMeans) {
+  const auto tasks = heterogeneous_tasks(2000, default_mixture(), 7);
+  double sum = 0;
+  int n = 0;
+  double lo = 1e18, hi = 0;
+  for (const auto& task : tasks) {
+    if (task.stage != "inference") continue;
+    sum += task.duration;
+    lo = std::min(lo, task.duration);
+    hi = std::max(hi, task.duration);
+    ++n;
+  }
+  ASSERT_GT(n, 100);
+  EXPECT_NEAR(sum / n, 20.0, 3.0);
+  EXPECT_LT(lo, hi - 5.0);  // genuine spread (cv 0.4)
+}
+
+TEST(Heterogeneous, DeterministicPerSeed) {
+  const auto a = heterogeneous_tasks(100, default_mixture(), 11);
+  const auto b = heterogeneous_tasks(100, default_mixture(), 11);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].stage, b[i].stage);
+    EXPECT_DOUBLE_EQ(a[i].duration, b[i].duration);
+  }
+}
+
+TEST(Heterogeneous, RejectsDegenerateMixtures) {
+  EXPECT_THROW(heterogeneous_tasks(10, {}, 1), util::Error);
+  TaskClass negative;
+  negative.name = "bad";
+  negative.weight = -1.0;
+  EXPECT_THROW(heterogeneous_tasks(10, {negative}, 1), util::Error);
+  TaskClass zero;
+  zero.name = "zero";
+  zero.weight = 0.0;
+  EXPECT_THROW(heterogeneous_tasks(10, {zero}, 1), util::Error);
+}
+
+}  // namespace
+}  // namespace flotilla::workloads

@@ -1,0 +1,138 @@
+// Tests for the MPI/PMI wireup model (§3.1) and the Flux scheduling
+// policy knob (FCFS vs backfill, §3.2.1).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dragon/dragon_backend.hpp"
+#include "flux/flux_backend.hpp"
+#include "platform/calibration.hpp"
+#include "platform/cluster.hpp"
+#include "slurm/srun_backend.hpp"
+#include "util/strfmt.hpp"
+
+namespace flotilla {
+namespace {
+
+using platform::Cluster;
+using platform::NodeRange;
+using platform::frontier_calibration;
+using platform::frontier_spec;
+
+// Measures start latency (submit -> exec start) for a task of `cores`
+// spread over whole nodes.
+template <typename Backend, typename... Args>
+double start_latency(std::int64_t cores, std::int64_t cores_per_node,
+                     Args&&... args) {
+  sim::Engine engine;
+  Cluster cluster(frontier_spec(), 8);
+  Backend backend(engine, cluster, NodeRange{0, 8},
+                  std::forward<Args>(args)...);
+  bool ready = false;
+  backend.bootstrap([&](bool ok, const std::string&) { ready = ok; });
+  engine.run(300.0);
+  EXPECT_TRUE(ready);
+  const sim::Time submit = engine.now();
+  sim::Time started = -1.0;
+  backend.on_task_start(
+      [&](const std::string&) { started = engine.now(); });
+  backend.on_task_complete([](const platform::LaunchOutcome&) {});
+  platform::LaunchRequest req;
+  req.id = "mpi.0";
+  req.demand.cores = cores;
+  req.demand.cores_per_node = cores_per_node;
+  req.duration = 1.0;
+  backend.submit(std::move(req));
+  engine.run();
+  EXPECT_GE(started, 0.0);
+  return started - submit;
+}
+
+TEST(MpiWireup, MultiNodeStepsPayWireupOnEveryBackend) {
+  const auto cal = frontier_calibration();
+  // srun
+  const double srun_1 =
+      start_latency<slurm::SrunBackend>(56, 0, cal.slurm, 42, nullptr);
+  const double srun_4 =
+      start_latency<slurm::SrunBackend>(224, 56, cal.slurm, 42, nullptr);
+  EXPECT_GT(srun_4, srun_1 + 0.2);  // wireup base 0.30 s
+  // flux
+  const double flux_1 =
+      start_latency<flux::FluxBackend>(56, 0, 1, cal.flux, 42);
+  const double flux_4 =
+      start_latency<flux::FluxBackend>(224, 56, 1, cal.flux, 42);
+  EXPECT_GT(flux_4, flux_1 + 0.05);
+  // dragon
+  const double dragon_1 =
+      start_latency<dragon::DragonBackend>(56, 0, cal.dragon, 42);
+  const double dragon_4 =
+      start_latency<dragon::DragonBackend>(224, 56, cal.dragon, 42);
+  EXPECT_GT(dragon_4, dragon_1 + 0.3);
+}
+
+TEST(MpiWireup, FluxIsTheFastTightlyCoupledPath) {
+  // §3.1/§3.2: Flux is the backend of choice for tightly coupled tasks;
+  // its wireup must beat both srun's controller-mediated PMI and Dragon's
+  // unoptimized group start.
+  const auto cal = frontier_calibration();
+  const double flux =
+      start_latency<flux::FluxBackend>(448, 56, 1, cal.flux, 42);
+  const double srun =
+      start_latency<slurm::SrunBackend>(448, 56, cal.slurm, 42, nullptr);
+  const double dragon =
+      start_latency<dragon::DragonBackend>(448, 56, cal.dragon, 42);
+  EXPECT_LT(flux, srun);
+  EXPECT_LT(srun, dragon + 0.5);  // dragon and srun are both slow paths
+  EXPECT_LT(flux, dragon);
+}
+
+TEST(MpiWireup, SingleNodeTasksUnaffected) {
+  // The wireup model must not perturb the calibrated single-core numbers.
+  const auto cal = frontier_calibration();
+  const double lat =
+      start_latency<flux::FluxBackend>(1, 0, 1, cal.flux, 42);
+  EXPECT_LT(lat, 0.2);  // sched + spawn only, ~40 ms
+}
+
+// ---------------------------------------------------------- sched policy
+
+TEST(FluxPolicy, FcfsBlocksBehindBigHeadBackfillDoesNot) {
+  auto small_task_wait = [](int backfill_depth) {
+    sim::Engine engine;
+    Cluster cluster(frontier_spec(), 2);
+    flux::FluxBackend backend(engine, cluster, NodeRange{0, 2}, 1,
+                              frontier_calibration().flux, 42, nullptr,
+                              backfill_depth);
+    bool ready = false;
+    backend.bootstrap([&](bool ok, const std::string&) { ready = ok; });
+    engine.run(120.0);
+    EXPECT_TRUE(ready);
+    sim::Time small_started = -1.0;
+    backend.on_task_start([&](const std::string& id) {
+      if (id == "small") small_started = engine.now();
+    });
+    backend.on_task_complete([](const platform::LaunchOutcome&) {});
+
+    auto req = [](std::string id, std::int64_t cores, double duration) {
+      platform::LaunchRequest r;
+      r.id = std::move(id);
+      r.demand.cores = cores;
+      r.duration = duration;
+      return r;
+    };
+    const sim::Time t0 = engine.now();
+    backend.submit(req("big.0", 111, 100.0));  // leaves 1 core free
+    backend.submit(req("big.1", 112, 10.0));   // blocked head
+    backend.submit(req("small", 1, 1.0));      // fits the free core
+    engine.run();
+    return small_started - t0;
+  };
+  const double fcfs = small_task_wait(1);
+  const double backfill = small_task_wait(64);
+  EXPECT_GT(fcfs, 90.0);     // waits for big.0 to finish
+  EXPECT_LT(backfill, 10.0);  // backfilled immediately
+}
+
+}  // namespace
+}  // namespace flotilla

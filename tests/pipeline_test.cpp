@@ -1,0 +1,133 @@
+// Tests for the threaded streaming pipeline (dragon/pipeline.hpp).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "dragon/pipeline.hpp"
+#include "util/error.hpp"
+
+namespace flotilla::dragon {
+namespace {
+
+TEST(Pipeline, SingleStagePassesEverythingThrough) {
+  Pipeline<int> pipeline;
+  std::atomic<long> sum{0};
+  pipeline.add_stage("double", 2, [](int x) { return std::optional(2 * x); })
+      .set_sink([&](int x) { sum.fetch_add(x); });
+  pipeline.start();
+  for (int i = 1; i <= 100; ++i) pipeline.feed(i);
+  pipeline.finish();
+  EXPECT_EQ(sum.load(), 2 * 5050);
+  EXPECT_EQ(pipeline.processed("double"), 100u);
+  EXPECT_EQ(pipeline.dropped("double"), 0u);
+}
+
+TEST(Pipeline, MultiStageChainsTransforms) {
+  Pipeline<int> pipeline;
+  std::mutex mutex;
+  std::multiset<int> out;
+  pipeline.add_stage("inc", 2, [](int x) { return std::optional(x + 1); })
+      .add_stage("square", 2, [](int x) { return std::optional(x * x); })
+      .set_sink([&](int x) {
+        std::lock_guard lock(mutex);
+        out.insert(x);
+      });
+  pipeline.start();
+  for (int i = 0; i < 10; ++i) pipeline.feed(i);
+  pipeline.finish();
+  std::multiset<int> expected;
+  for (int i = 0; i < 10; ++i) expected.insert((i + 1) * (i + 1));
+  EXPECT_EQ(out, expected);
+}
+
+TEST(Pipeline, FilterStageDropsItems) {
+  Pipeline<int> pipeline;
+  std::atomic<int> kept{0};
+  pipeline
+      .add_stage("odd-only", 2,
+                 [](int x) -> std::optional<int> {
+                   if (x % 2 == 0) return std::nullopt;
+                   return x;
+                 })
+      .set_sink([&](int) { kept.fetch_add(1); });
+  pipeline.start();
+  for (int i = 0; i < 1000; ++i) pipeline.feed(i);
+  pipeline.finish();
+  EXPECT_EQ(kept.load(), 500);
+  EXPECT_EQ(pipeline.dropped("odd-only"), 500u);
+  EXPECT_EQ(pipeline.processed("odd-only"), 1000u);
+}
+
+TEST(Pipeline, SingleWorkerStagePreservesOrder) {
+  Pipeline<int> pipeline;
+  std::vector<int> out;  // sink called from the single worker: no race
+  pipeline.add_stage("identity", 1, [](int x) { return std::optional(x); })
+      .set_sink([&](int x) { out.push_back(x); });
+  pipeline.start();
+  for (int i = 0; i < 2000; ++i) pipeline.feed(i);
+  pipeline.finish();
+  ASSERT_EQ(out.size(), 2000u);
+  for (int i = 0; i < 2000; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i);
+}
+
+TEST(Pipeline, BackpressureBlocksProducerNotDropsItems) {
+  Pipeline<int> pipeline(/*queue_capacity=*/4);
+  std::atomic<int> seen{0};
+  pipeline
+      .add_stage("slow", 1,
+                 [](int x) {
+                   std::this_thread::sleep_for(std::chrono::microseconds(50));
+                   return std::optional(x);
+                 })
+      .set_sink([&](int) { seen.fetch_add(1); });
+  pipeline.start();
+  for (int i = 0; i < 500; ++i) pipeline.feed(i);  // blocks when full
+  pipeline.finish();
+  EXPECT_EQ(seen.load(), 500);
+}
+
+TEST(Pipeline, FinishIsIdempotentAndDtorSafe) {
+  auto pipeline = std::make_unique<Pipeline<int>>();
+  pipeline->add_stage("s", 1, [](int x) { return std::optional(x); });
+  pipeline->start();
+  pipeline->feed(1);
+  pipeline->finish();
+  pipeline->finish();  // no-op
+  pipeline.reset();    // dtor after finish: no double join
+}
+
+TEST(Pipeline, MisuseThrows) {
+  Pipeline<int> pipeline;
+  EXPECT_THROW(pipeline.start(), util::Error);  // no stages
+  pipeline.add_stage("s", 1, [](int x) { return std::optional(x); });
+  EXPECT_THROW(pipeline.feed(1), util::Error);  // not started
+  pipeline.start();
+  EXPECT_THROW(
+      pipeline.add_stage("late", 1, [](int x) { return std::optional(x); }),
+      util::Error);
+  EXPECT_THROW(pipeline.processed("ghost"), util::Error);
+  pipeline.finish();
+}
+
+TEST(Pipeline, HighVolumeAccountingIsExact) {
+  Pipeline<int> pipeline(64);
+  std::atomic<long> sum{0};
+  pipeline.add_stage("a", 3, [](int x) { return std::optional(x); })
+      .add_stage("b", 3, [](int x) { return std::optional(x); })
+      .add_stage("c", 2, [](int x) { return std::optional(x); })
+      .set_sink([&](int x) { sum.fetch_add(x); });
+  pipeline.start();
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) pipeline.feed(i);
+  pipeline.finish();
+  EXPECT_EQ(sum.load(), static_cast<long>(n) * (n - 1) / 2);
+  EXPECT_EQ(pipeline.processed("a"), static_cast<std::uint64_t>(n));
+  EXPECT_EQ(pipeline.processed("c"), static_cast<std::uint64_t>(n));
+}
+
+}  // namespace
+}  // namespace flotilla::dragon

@@ -1,0 +1,112 @@
+// Tests for the real process-execution pool (fork/exec on the host).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "local/process_pool.hpp"
+#include "util/error.hpp"
+
+namespace flotilla::local {
+namespace {
+
+TEST(ProcessPool, RunsRealExecutableAndReportsExitZero) {
+  ProcessPool pool(2);
+  std::atomic<int> code{-1};
+  pool.spawn({"/bin/true"},
+             [&](const ProcessResult& r) { code = r.exit_code; });
+  pool.wait_all();
+  EXPECT_EQ(code.load(), 0);
+  EXPECT_EQ(pool.launched(), 1u);
+  EXPECT_EQ(pool.completed(), 1u);
+  EXPECT_EQ(pool.running(), 0u);
+}
+
+TEST(ProcessPool, ReportsNonZeroExitCodes) {
+  ProcessPool pool(2);
+  std::atomic<int> code{-1};
+  std::atomic<bool> ok{true};
+  pool.spawn({"/bin/sh", "-c", "exit 3"}, [&](const ProcessResult& r) {
+    code = r.exit_code;
+    ok = r.success();
+  });
+  pool.wait_all();
+  EXPECT_EQ(code.load(), 3);
+  EXPECT_FALSE(ok.load());
+}
+
+TEST(ProcessPool, MissingCommandReports127) {
+  ProcessPool pool(1);
+  std::atomic<int> code{-1};
+  pool.spawn({"definitely-not-a-real-command-xyz"},
+             [&](const ProcessResult& r) { code = r.exit_code; });
+  pool.wait_all();
+  EXPECT_EQ(code.load(), 127);
+}
+
+TEST(ProcessPool, ConcurrencyCapThrottlesExecution) {
+  // 4 sleeps of ~0.2 s with 2 slots must take >= ~0.4 s wall.
+  ProcessPool pool(2);
+  const auto start = std::chrono::steady_clock::now();
+  std::atomic<int> done{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.spawn({"/bin/sleep", "0.2"},
+               [&](const ProcessResult& r) {
+                 EXPECT_TRUE(r.success());
+                 done.fetch_add(1);
+               });
+  }
+  EXPECT_LE(pool.running(), 2u);
+  pool.wait_all();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(done.load(), 4);
+  EXPECT_GE(wall, 0.38);
+}
+
+TEST(ProcessPool, ManyShortProcessesAllComplete) {
+  ProcessPool pool(4);
+  std::atomic<int> ok{0};
+  constexpr int n = 40;
+  for (int i = 0; i < n; ++i) {
+    pool.spawn({"/bin/true"},
+               [&](const ProcessResult& r) { ok += r.success(); });
+  }
+  pool.wait_all();
+  EXPECT_EQ(ok.load(), n);
+  EXPECT_EQ(pool.completed(), static_cast<std::uint64_t>(n));
+}
+
+TEST(ProcessPool, WallTimeIsMeasured) {
+  ProcessPool pool(1);
+  std::atomic<double> wall{0.0};
+  pool.spawn({"/bin/sleep", "0.15"},
+             [&](const ProcessResult& r) { wall = r.wall_seconds; });
+  pool.wait_all();
+  EXPECT_GE(wall.load(), 0.12);
+  EXPECT_LT(wall.load(), 5.0);
+}
+
+TEST(ProcessPool, EmptyArgvThrows) {
+  ProcessPool pool(1);
+  EXPECT_THROW(pool.spawn({}, {}), util::Error);
+}
+
+TEST(ProcessPool, DestructorDrainsOutstandingWork) {
+  std::atomic<int> done{0};
+  {
+    ProcessPool pool(2);
+    for (int i = 0; i < 6; ++i) {
+      pool.spawn({"/bin/sleep", "0.05"},
+                 [&](const ProcessResult&) { done.fetch_add(1); });
+    }
+    // dtor must wait for all six.
+  }
+  EXPECT_EQ(done.load(), 6);
+}
+
+}  // namespace
+}  // namespace flotilla::local

@@ -1,0 +1,237 @@
+// Property-based tests: randomized workloads checked against invariants
+// rather than fixed expectations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "platform/cluster.hpp"
+#include "platform/placement_algo.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/resource.hpp"
+#include "sim/stats.hpp"
+
+namespace flotilla {
+namespace {
+
+// -------------------------------------------------- placement invariants
+
+// Property: any interleaving of successful placements and releases keeps
+// per-node free counts consistent, never double-assigns a core/GPU, and
+// ends with a fully free cluster.
+class PlacementProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlacementProperty, RandomPlaceReleaseKeepsClusterConsistent) {
+  sim::RngStream rng(GetParam());
+  const int nodes = static_cast<int>(rng.uniform_int(1, 32));
+  platform::Cluster cluster(platform::frontier_spec(), nodes);
+  const auto range = cluster.all_nodes();
+  platform::NodeId cursor = 0;
+  std::vector<platform::Placement> held;
+  std::int64_t held_cores = 0, held_gpus = 0;
+
+  for (int step = 0; step < 500; ++step) {
+    const bool place = held.empty() || rng.bernoulli(0.6);
+    if (place) {
+      platform::ResourceDemand demand;
+      demand.cores = rng.uniform_int(0, 56 * 3);
+      demand.gpus = rng.uniform_int(0, 12);
+      if (rng.bernoulli(0.2)) demand.cores_per_node = 56;  // MPI chunked
+      auto placement =
+          platform::try_place(cluster, range, demand, &cursor);
+      if (!placement) continue;
+      // Exactly the demanded resources are claimed.
+      ASSERT_EQ(placement->total_cores(), demand.cores);
+      ASSERT_EQ(placement->total_gpus(), demand.gpus);
+      // No slice overlaps another held slice on the same node.
+      for (const auto& mine : placement->slices) {
+        for (const auto& other : held) {
+          for (const auto& slice : other.slices) {
+            if (slice.node != mine.node) continue;
+            ASSERT_EQ(slice.core_mask & mine.core_mask, 0u);
+            ASSERT_EQ(slice.gpu_mask & mine.gpu_mask, 0);
+          }
+        }
+      }
+      held_cores += placement->total_cores();
+      held_gpus += placement->total_gpus();
+      held.push_back(std::move(*placement));
+    } else {
+      const auto victim = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(held.size()) - 1));
+      held_cores -= held[victim].total_cores();
+      held_gpus -= held[victim].total_gpus();
+      platform::release_placement(cluster, held[victim]);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    // Global accounting matches the ledger at every step.
+    ASSERT_EQ(cluster.free_cores(range),
+              static_cast<std::int64_t>(nodes) * 56 - held_cores);
+    ASSERT_EQ(cluster.free_gpus(range),
+              static_cast<std::int64_t>(nodes) * 8 - held_gpus);
+  }
+  for (const auto& placement : held) {
+    platform::release_placement(cluster, placement);
+  }
+  ASSERT_EQ(cluster.free_cores(range), static_cast<std::int64_t>(nodes) * 56);
+  ASSERT_EQ(cluster.free_gpus(range), static_cast<std::int64_t>(nodes) * 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacementProperty,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+// Property: tightly coupled placement is all-or-nothing — on failure no
+// node loses capacity.
+TEST(PlacementProperty, ChunkedPlacementIsAtomic) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    sim::RngStream rng(seed);
+    platform::Cluster cluster(platform::frontier_spec(), 8);
+    // Fragment the cluster randomly.
+    for (int i = 0; i < 8; ++i) {
+      cluster.node(i).allocate(static_cast<int>(rng.uniform_int(0, 56)), 0);
+    }
+    const auto before = cluster.free_cores(cluster.all_nodes());
+    const auto placement = platform::try_place(
+        cluster, cluster.all_nodes(), {56 * 6, 0, 56});
+    if (placement) {
+      EXPECT_EQ(cluster.free_cores(cluster.all_nodes()),
+                before - 56 * 6);
+      platform::release_placement(cluster, *placement);
+    }
+    EXPECT_EQ(cluster.free_cores(cluster.all_nodes()), before);
+  }
+}
+
+// ----------------------------------------------------- engine invariants
+
+// Property: virtual time is non-decreasing across any random schedule,
+// including events scheduled from within events.
+class EngineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineProperty, TimeIsMonotoneUnderRandomSchedules) {
+  sim::RngStream rng(GetParam());
+  sim::Engine engine;
+  double last = -1.0;
+  int spawned = 0;
+  std::function<void()> check = [&] {
+    EXPECT_GE(engine.now(), last);
+    last = engine.now();
+    if (spawned < 2000 && rng.bernoulli(0.7)) {
+      ++spawned;
+      engine.in(rng.uniform(0.0, 10.0), check);
+    }
+  };
+  for (int i = 0; i < 50; ++i) {
+    engine.at(rng.uniform(0.0, 100.0), check);
+  }
+  engine.run();
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST_P(EngineProperty, CancelledEventsNeverFire) {
+  sim::RngStream rng(GetParam());
+  sim::Engine engine;
+  std::vector<sim::Engine::EventId> ids;
+  std::vector<bool> cancelled;
+  int fired_cancelled = 0;
+  for (int i = 0; i < 300; ++i) {
+    const auto idx = ids.size();
+    cancelled.push_back(false);
+    ids.push_back(engine.at(rng.uniform(0.0, 50.0), [&, idx] {
+      if (cancelled[idx]) ++fired_cancelled;
+    }));
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (rng.bernoulli(0.5)) {
+      cancelled[i] = engine.cancel(ids[i]);
+    }
+  }
+  engine.run();
+  EXPECT_EQ(fired_cancelled, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// --------------------------------------------------- resource invariants
+
+// Property: under random acquire/release traffic the resource never goes
+// negative, never exceeds capacity, and eventually serves every waiter.
+class ResourceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ResourceProperty, ConservationUnderRandomTraffic) {
+  sim::RngStream rng(GetParam());
+  sim::Engine engine;
+  const std::int64_t capacity = rng.uniform_int(4, 64);
+  sim::Resource resource(engine, capacity);
+  int granted = 0;
+  const int total = 400;
+  for (int i = 0; i < total; ++i) {
+    const auto amount = rng.uniform_int(1, capacity);
+    const double hold = rng.uniform(0.1, 5.0);
+    engine.at(rng.uniform(0.0, 50.0), [&, amount, hold] {
+      resource.acquire(amount, [&, amount, hold] {
+        ++granted;
+        ASSERT_GE(resource.available(), 0);
+        ASSERT_LE(resource.available(), capacity);
+        engine.in(hold, [&, amount] { resource.release(amount); });
+      });
+    });
+  }
+  engine.run();
+  EXPECT_EQ(granted, total);
+  EXPECT_EQ(resource.available(), capacity);
+  EXPECT_EQ(resource.queue_length(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResourceProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// -------------------------------------------------------- stats sanity
+
+// Property: RateSeries aggregates are consistent with first principles for
+// random event streams.
+class StatsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatsProperty, RateSeriesAggregatesConsistent) {
+  sim::RngStream rng(GetParam());
+  sim::RateSeries series(1.0);
+  std::vector<double> times;
+  const int n = static_cast<int>(rng.uniform_int(2, 2000));
+  for (int i = 0; i < n; ++i) times.push_back(rng.uniform(0.0, 300.0));
+  std::sort(times.begin(), times.end());
+  for (const double t : times) series.record(t);
+
+  EXPECT_EQ(series.total(), static_cast<std::uint64_t>(n));
+  std::uint64_t sum = 0;
+  for (const auto b : series.bins()) sum += b;
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(n));
+  EXPECT_GE(series.peak_rate(), series.mean_nonzero_rate());
+  EXPECT_GE(series.mean_nonzero_rate(), 1.0);  // nonzero bins have >= 1
+  const double window = times.back() - times.front();
+  if (window > 0) {
+    EXPECT_NEAR(series.window_rate(), n / window, 1e-9);
+  }
+}
+
+TEST_P(StatsProperty, TimeWeightedIntegralMatchesManualSum) {
+  sim::RngStream rng(GetParam());
+  sim::TimeWeighted tw;
+  double t = 0.0, value = 0.0, manual = 0.0;
+  tw.set(0.0, 0.0);
+  for (int i = 0; i < 200; ++i) {
+    const double dt = rng.uniform(0.0, 3.0);
+    manual += value * dt;
+    t += dt;
+    value = rng.uniform(0.0, 100.0);
+    tw.set(t, value);
+  }
+  EXPECT_NEAR(tw.integral(t), manual, 1e-6 * std::max(1.0, manual));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace flotilla

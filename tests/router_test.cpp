@@ -1,0 +1,88 @@
+// Tests for the router policies (static preference vs adaptive
+// least-loaded selection, §6's "dynamic backend selection").
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/flotilla.hpp"
+
+namespace flotilla::core {
+namespace {
+
+struct RouterFixture {
+  Session session{platform::frontier_spec(), 8, 42};
+  PilotManager pmgr{session};
+  Pilot* pilot = nullptr;
+  std::unique_ptr<TaskManager> tmgr;
+  std::map<std::string, int> by_backend;
+
+  explicit RouterFixture(RouterPolicy policy) {
+    pilot = &pmgr.submit({.nodes = 8,
+                          .backends = {{.type = "flux", .partitions = 1,
+                                        .nodes = 4},
+                                       {.type = "dragon", .nodes = 4}},
+                          .router = policy});
+    bool ok = false;
+    pilot->launch([&](bool success, const std::string&) { ok = success; });
+    session.run(240.0);
+    EXPECT_TRUE(ok);
+    tmgr = std::make_unique<TaskManager>(session, pilot->agent());
+    tmgr->on_complete(
+        [this](const Task& task) { ++by_backend[task.backend()]; });
+  }
+
+  void run_executables(int n) {
+    for (int i = 0; i < n; ++i) {
+      TaskDescription desc;
+      desc.demand.cores = 1;
+      desc.duration = 30.0;
+      tmgr->submit(std::move(desc));
+    }
+    session.run();
+  }
+};
+
+TEST(Router, StaticPolicySendsAllExecutablesToFirstBackend) {
+  RouterFixture fx(RouterPolicy::kStatic);
+  fx.run_executables(200);
+  EXPECT_EQ(fx.by_backend["flux"], 200);
+  EXPECT_EQ(fx.by_backend.count("dragon"), 0u);
+}
+
+TEST(Router, AdaptivePolicyBalancesAcrossCompatibleBackends) {
+  RouterFixture fx(RouterPolicy::kAdaptive);
+  fx.run_executables(400);
+  EXPECT_EQ(fx.by_backend["flux"] + fx.by_backend["dragon"], 400);
+  // Both backends accept executables; the least-loaded rule spreads work.
+  EXPECT_GT(fx.by_backend["flux"], 50);
+  EXPECT_GT(fx.by_backend["dragon"], 50);
+}
+
+TEST(Router, AdaptiveStillHonorsExplicitHints) {
+  RouterFixture fx(RouterPolicy::kAdaptive);
+  for (int i = 0; i < 50; ++i) {
+    TaskDescription desc;
+    desc.demand.cores = 1;
+    desc.backend_hint = "flux";
+    fx.tmgr->submit(std::move(desc));
+  }
+  fx.session.run();
+  EXPECT_EQ(fx.by_backend["flux"], 50);
+}
+
+TEST(Router, AdaptiveRespectsModality) {
+  RouterFixture fx(RouterPolicy::kAdaptive);
+  for (int i = 0; i < 60; ++i) {
+    TaskDescription desc;
+    desc.demand.cores = 1;
+    desc.modality = platform::TaskModality::kFunction;  // flux can't
+    fx.tmgr->submit(std::move(desc));
+  }
+  fx.session.run();
+  EXPECT_EQ(fx.by_backend["dragon"], 60);
+  EXPECT_EQ(fx.by_backend.count("flux"), 0u);
+}
+
+}  // namespace
+}  // namespace flotilla::core

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace flotilla::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZeroEmpty) {
+  Engine engine;
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+  EXPECT_TRUE(engine.empty());
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(Engine, ProcessesEventsInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.at(5.0, [&] { order.push_back(2); });
+  engine.at(1.0, [&] { order.push_back(1); });
+  engine.at(9.0, [&] { order.push_back(3); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 9.0);
+}
+
+TEST(Engine, TiesResolveInInsertionOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    engine.at(2.0, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, InSchedulesRelativeToNow) {
+  Engine engine;
+  Time fired = -1.0;
+  engine.at(3.0, [&] { engine.in(2.0, [&] { fired = engine.now(); }); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(fired, 5.0);
+}
+
+TEST(Engine, PastTimesClampToNow) {
+  Engine engine;
+  Time fired = -1.0;
+  engine.at(4.0, [&] { engine.at(1.0, [&] { fired = engine.now(); }); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(fired, 4.0);
+}
+
+TEST(Engine, CancelPreventsDelivery) {
+  Engine engine;
+  bool fired = false;
+  const auto id = engine.at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(engine.cancel(id));
+  EXPECT_FALSE(engine.cancel(id));  // second cancel is a no-op
+  engine.run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryInclusive) {
+  Engine engine;
+  int count = 0;
+  engine.at(1.0, [&] { ++count; });
+  engine.at(2.0, [&] { ++count; });
+  engine.at(3.0, [&] { ++count; });
+  const auto processed = engine.run(2.0);
+  EXPECT_EQ(processed, 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+  engine.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Engine, StopAbortsRunLoop) {
+  Engine engine;
+  int count = 0;
+  engine.at(1.0, [&] {
+    ++count;
+    engine.stop();
+  });
+  engine.at(2.0, [&] { ++count; });
+  engine.run();
+  EXPECT_EQ(count, 1);
+  engine.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, NextEventTimeSkipsTombstones) {
+  Engine engine;
+  const auto id = engine.at(1.0, [] {});
+  engine.at(5.0, [] {});
+  engine.cancel(id);
+  EXPECT_DOUBLE_EQ(engine.next_event_time(), 5.0);
+}
+
+TEST(Engine, NextEventTimeEmptyIsInfinite) {
+  Engine engine;
+  EXPECT_EQ(engine.next_event_time(), kInfiniteTime);
+}
+
+TEST(Engine, EventsScheduledDuringRunAreProcessed) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) engine.in(1.0, recurse);
+  };
+  engine.in(1.0, recurse);
+  engine.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(engine.now(), 100.0);
+}
+
+TEST(Engine, ProcessedCounterAccumulates) {
+  Engine engine;
+  for (int i = 0; i < 7; ++i) engine.at(i, [] {});
+  engine.run();
+  EXPECT_EQ(engine.processed(), 7u);
+}
+
+TEST(Engine, RejectsEmptyCallback) {
+  Engine engine;
+  EXPECT_THROW(engine.at(1.0, Engine::Callback{}), util::Error);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto trace_of = [] {
+    Engine engine;
+    std::vector<double> times;
+    for (int i = 0; i < 50; ++i) {
+      engine.at(static_cast<double>((i * 37) % 11), [&times, &engine] {
+        times.push_back(engine.now());
+      });
+    }
+    engine.run();
+    return times;
+  };
+  EXPECT_EQ(trace_of(), trace_of());
+}
+
+}  // namespace
+}  // namespace flotilla::sim

@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/random.hpp"
+#include "sim/resource.hpp"
+#include "sim/server.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+#include "util/error.hpp"
+
+namespace flotilla::sim {
+namespace {
+
+// ---------------------------------------------------------------- Resource
+
+TEST(Resource, GrantsImmediatelyWhenAvailable) {
+  Engine engine;
+  Resource res(engine, 10);
+  bool granted = false;
+  res.acquire(4, [&] { granted = true; });
+  EXPECT_FALSE(granted);  // grants are delivered via the event queue
+  engine.run();
+  EXPECT_TRUE(granted);
+  EXPECT_EQ(res.available(), 6);
+}
+
+TEST(Resource, FifoOrderNoSkipping) {
+  Engine engine;
+  Resource res(engine, 4);
+  std::vector<int> order;
+  res.acquire(4, [&] { order.push_back(0); });
+  res.acquire(3, [&] { order.push_back(1); });
+  res.acquire(1, [&] { order.push_back(2); });  // fits, but must wait for #1
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  res.release(4);
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(res.available(), 0);
+}
+
+TEST(Resource, TryAcquireRespectsQueue) {
+  Engine engine;
+  Resource res(engine, 4);
+  res.acquire(4, [] {});
+  res.acquire(2, [] {});  // queued
+  engine.run();
+  EXPECT_FALSE(res.try_acquire(1));  // waiter ahead
+  res.release(4);
+  engine.run();
+  EXPECT_TRUE(res.try_acquire(2));
+  EXPECT_EQ(res.available(), 0);
+}
+
+TEST(Resource, CancelWaitUnblocksFollowers) {
+  Engine engine;
+  Resource res(engine, 4);
+  res.acquire(4, [] {});
+  const auto big = res.acquire(4, [] { FAIL() << "cancelled waiter fired"; });
+  bool small_granted = false;
+  res.acquire(1, [&] { small_granted = true; });
+  engine.run();
+  res.release(1);  // 1 free, head wants 4
+  engine.run();
+  EXPECT_FALSE(small_granted);
+  EXPECT_TRUE(res.cancel_wait(big));
+  engine.run();
+  EXPECT_TRUE(small_granted);
+  EXPECT_FALSE(res.cancel_wait(big));
+}
+
+TEST(Resource, OverReleaseThrows) {
+  Engine engine;
+  Resource res(engine, 2);
+  EXPECT_THROW(res.release(1), util::Error);
+}
+
+TEST(Resource, AcquireBeyondCapacityThrows) {
+  Engine engine;
+  Resource res(engine, 2);
+  EXPECT_THROW(res.acquire(3, [] {}), util::Error);
+}
+
+// ------------------------------------------------------------------ Server
+
+TEST(Server, SerializesWork) {
+  Engine engine;
+  Server server(engine, 1);
+  std::vector<double> done_times;
+  for (int i = 0; i < 3; ++i) {
+    server.submit(2.0, [&] { done_times.push_back(engine.now()); });
+  }
+  EXPECT_EQ(server.backlog(), 2u);  // one in service, two queued
+  engine.run();
+  EXPECT_EQ(done_times, (std::vector<double>{2.0, 4.0, 6.0}));
+  EXPECT_EQ(server.completed(), 3u);
+  EXPECT_TRUE(server.idle());
+}
+
+TEST(Server, ParallelismOverlapsService) {
+  Engine engine;
+  Server server(engine, 2);
+  std::vector<double> done_times;
+  for (int i = 0; i < 4; ++i) {
+    server.submit(3.0, [&] { done_times.push_back(engine.now()); });
+  }
+  engine.run();
+  EXPECT_EQ(done_times, (std::vector<double>{3.0, 3.0, 6.0, 6.0}));
+}
+
+TEST(Server, ZeroServiceTimeCompletesSameInstant) {
+  Engine engine;
+  Server server(engine, 1);
+  bool done = false;
+  server.submit(0.0, [&] { done = true; });
+  engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+}
+
+TEST(Server, BusyTimeAccumulates) {
+  Engine engine;
+  Server server(engine, 1);
+  server.submit(1.5, [] {});
+  server.submit(2.5, [] {});
+  engine.run();
+  EXPECT_DOUBLE_EQ(server.busy_time(), 4.0);
+}
+
+TEST(Server, NegativeServiceTimeThrows) {
+  Engine engine;
+  Server server(engine);
+  EXPECT_THROW(server.submit(-1.0, [] {}), util::Error);
+}
+
+// ----------------------------------------------------------------- Channel
+
+TEST(Channel, PushThenPopDelivers) {
+  Engine engine;
+  Channel<int> chan(engine);
+  chan.push(7);
+  int got = 0;
+  chan.pop([&](int v) { got = v; });
+  engine.run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(Channel, PopThenPushDelivers) {
+  Engine engine;
+  Channel<int> chan(engine);
+  int got = 0;
+  chan.pop([&](int v) { got = v; });
+  EXPECT_EQ(chan.waiting_consumers(), 1u);
+  chan.push(9);
+  engine.run();
+  EXPECT_EQ(got, 9);
+}
+
+TEST(Channel, PreservesFifoOrder) {
+  Engine engine;
+  Channel<int> chan(engine);
+  std::vector<int> got;
+  for (int i = 0; i < 5; ++i) chan.push(i);
+  for (int i = 0; i < 5; ++i) chan.pop([&](int v) { got.push_back(v); });
+  engine.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Channel, DrainReceivesBacklogAndFuture) {
+  Engine engine;
+  Channel<std::string> chan(engine);
+  chan.push("a");
+  chan.push("b");
+  std::vector<std::string> got;
+  chan.drain([&](std::string v) { got.push_back(std::move(v)); });
+  engine.run();
+  chan.push("c");
+  engine.run();
+  EXPECT_EQ(got, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Channel, PopAfterDrainThrows) {
+  Engine engine;
+  Channel<int> chan(engine);
+  chan.drain([](int) {});
+  EXPECT_THROW(chan.pop([](int) {}), util::Error);
+}
+
+// ------------------------------------------------------------------- Stats
+
+TEST(Tally, ComputesMoments) {
+  Tally tally;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    tally.add(x);
+  }
+  EXPECT_EQ(tally.count(), 8u);
+  EXPECT_DOUBLE_EQ(tally.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(tally.min(), 2.0);
+  EXPECT_DOUBLE_EQ(tally.max(), 9.0);
+  EXPECT_NEAR(tally.stddev(), 2.0, 1e-12);
+}
+
+TEST(Tally, EmptyTallyIsZero) {
+  Tally tally;
+  EXPECT_EQ(tally.count(), 0u);
+  EXPECT_DOUBLE_EQ(tally.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(tally.stddev(), 0.0);
+}
+
+TEST(TimeWeighted, IntegratesStepFunction) {
+  TimeWeighted tw;
+  tw.set(0.0, 0.0);
+  tw.set(10.0, 4.0);   // 0 for 10 s
+  tw.set(20.0, 2.0);   // 4 for 10 s
+  EXPECT_DOUBLE_EQ(tw.integral(30.0), 0.0 * 10 + 4.0 * 10 + 2.0 * 10);
+  EXPECT_DOUBLE_EQ(tw.time_average(30.0), 2.0);
+  EXPECT_DOUBLE_EQ(tw.max_value(), 4.0);
+}
+
+TEST(TimeWeighted, AddAppliesDelta) {
+  TimeWeighted tw;
+  tw.set(0.0, 1.0);
+  tw.add(5.0, 2.0);
+  EXPECT_DOUBLE_EQ(tw.value(), 3.0);
+  EXPECT_DOUBLE_EQ(tw.integral(10.0), 1.0 * 5 + 3.0 * 5);
+}
+
+TEST(TimeWeighted, OutOfOrderUpdateThrows) {
+  TimeWeighted tw;
+  tw.set(5.0, 1.0);
+  EXPECT_THROW(tw.set(4.0, 2.0), util::Error);
+}
+
+TEST(RateSeries, BinsAndRates) {
+  RateSeries series(1.0);
+  series.record(0.1);
+  series.record(0.9);
+  series.record(2.5);
+  series.record(2.6);
+  series.record(2.7);
+  EXPECT_EQ(series.total(), 5u);
+  ASSERT_EQ(series.bins().size(), 3u);
+  EXPECT_EQ(series.bins()[0], 2u);
+  EXPECT_EQ(series.bins()[1], 0u);
+  EXPECT_EQ(series.bins()[2], 3u);
+  EXPECT_DOUBLE_EQ(series.peak_rate(), 3.0);
+  EXPECT_DOUBLE_EQ(series.mean_nonzero_rate(), 2.5);
+  EXPECT_NEAR(series.window_rate(), 5.0 / 2.6, 1e-12);
+}
+
+TEST(RateSeries, EmptySeriesIsZero) {
+  RateSeries series;
+  EXPECT_DOUBLE_EQ(series.peak_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(series.mean_nonzero_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(series.window_rate(), 0.0);
+}
+
+// ------------------------------------------------------------------ Random
+
+TEST(RngStream, DeterministicPerSeed) {
+  RngStream a(42, "ctl");
+  RngStream b(42, "ctl");
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngStream, StreamsAreIndependentByName) {
+  RngStream a(42, "ctl");
+  RngStream b(42, "exec");
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) differs |= (a.next_u64() != b.next_u64());
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngStream, UniformInUnitInterval) {
+  RngStream rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngStream, UniformIntCoversRangeInclusive) {
+  RngStream rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 6);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 6);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngStream, ExponentialMeanConverges) {
+  RngStream rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(RngStream, LognormalMeanCvConverges) {
+  RngStream rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal_mean_cv(10.0, 0.3);
+  EXPECT_NEAR(sum / n, 10.0, 0.3);
+  EXPECT_DOUBLE_EQ(rng.lognormal_mean_cv(10.0, 0.0), 10.0);
+}
+
+// ------------------------------------------------------------------- Trace
+
+TEST(Trace, RecordsAndSelects) {
+  Engine engine;
+  Trace trace(engine);
+  engine.at(1.0, [&] { trace.record("agent", "launch", "task.0", 4); });
+  engine.at(2.0, [&] { trace.record("flux.0", "launch", "task.1", 8); });
+  engine.at(3.0, [&] { trace.record("agent", "done", "task.0"); });
+  engine.run();
+
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.select("launch").size(), 2u);
+  EXPECT_EQ(trace.select("launch", "agent").size(), 1u);
+  Time t = 0;
+  ASSERT_TRUE(trace.first_time("task.0", "done", t));
+  EXPECT_DOUBLE_EQ(t, 3.0);
+  EXPECT_FALSE(trace.first_time("task.9", "done", t));
+}
+
+TEST(Trace, WritesJsonlWithEscaping) {
+  Engine engine;
+  Trace trace(engine);
+  engine.at(1.5, [&] { trace.record("agent", "launch", "task \"a\"", 4); });
+  engine.run();
+  std::ostringstream os;
+  trace.write_jsonl(os);
+  EXPECT_EQ(os.str(),
+            "{\"time\":1.5,\"comp\":\"agent\",\"event\":\"launch\","
+            "\"entity\":\"task \\\"a\\\"\",\"value\":4}\n");
+}
+
+}  // namespace
+}  // namespace flotilla::sim

@@ -1,0 +1,89 @@
+// Tests for the trace-replay workload driver.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/flotilla.hpp"
+#include "util/error.hpp"
+#include "workloads/trace_replay.hpp"
+
+namespace flotilla::workloads {
+namespace {
+
+constexpr const char* kTrace =
+    "submit_time,cores,gpus,cores_per_node,duration,modality,stage\n"
+    "0,1,0,0,30,exec,warmup\n"
+    "10,112,8,56,120,exec,mpi\n"
+    "20,1,0,0,5,func,inference\n";
+
+TEST(TraceReplay, ParsesCsvWithHeader) {
+  std::istringstream in(kTrace);
+  const auto entries = parse_trace(in);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_DOUBLE_EQ(entries[0].submit_time, 0.0);
+  EXPECT_EQ(entries[0].task.stage, "warmup");
+  EXPECT_EQ(entries[1].task.demand.cores, 112);
+  EXPECT_EQ(entries[1].task.demand.cores_per_node, 56);
+  EXPECT_EQ(entries[1].task.demand.gpus, 8);
+  EXPECT_EQ(entries[2].task.modality, platform::TaskModality::kFunction);
+}
+
+TEST(TraceReplay, RoundTripsThroughWriter) {
+  std::istringstream in(kTrace);
+  const auto entries = parse_trace(in);
+  std::ostringstream out;
+  write_trace(out, entries);
+  std::istringstream in2(out.str());
+  const auto again = parse_trace(in2);
+  ASSERT_EQ(again.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(again[i].submit_time, entries[i].submit_time);
+    EXPECT_EQ(again[i].task.demand, entries[i].task.demand);
+    EXPECT_DOUBLE_EQ(again[i].task.duration, entries[i].task.duration);
+    EXPECT_EQ(again[i].task.modality, entries[i].task.modality);
+    EXPECT_EQ(again[i].task.stage, entries[i].task.stage);
+  }
+}
+
+TEST(TraceReplay, RejectsMalformedRows) {
+  std::istringstream missing("1,2,3\n");
+  EXPECT_THROW(parse_trace(missing), util::Error);
+  std::istringstream garbage("abc,1,0,0,5,exec\n");
+  EXPECT_THROW(parse_trace(garbage), util::Error);
+  std::istringstream modality("0,1,0,0,5,python\n");
+  EXPECT_THROW(parse_trace(modality), util::Error);
+  std::istringstream negative("-5,1,0,0,5,exec\n");
+  EXPECT_THROW(parse_trace(negative), util::Error);
+}
+
+TEST(TraceReplay, SubmitsAtRecordedVirtualTimes) {
+  core::Session session(platform::frontier_spec(), 4, 42);
+  core::PilotManager pmgr(session);
+  auto& pilot = pmgr.submit(
+      {.nodes = 4,
+       .backends = {{.type = "flux", .partitions = 1},
+                    {.type = "dragon", .nodes = 1}}});
+  pilot.launch([](bool ok, const std::string&) { EXPECT_TRUE(ok); });
+  session.run(240.0);
+  core::TaskManager tmgr(session, pilot.agent());
+  int done = 0;
+  tmgr.on_complete([&](const core::Task& task) {
+    EXPECT_EQ(task.state(), core::TaskState::kDone);
+    ++done;
+  });
+
+  std::istringstream in(kTrace);
+  const auto entries = parse_trace(in);
+  const sim::Time start = session.now();
+  EXPECT_EQ(replay(tmgr, entries, start), 3u);
+  session.run();
+  EXPECT_EQ(done, 3);
+  // The func task was submitted ~20 s after replay start.
+  sim::Time t = 0;
+  ASSERT_TRUE(tmgr.task("task.000002")
+                  .state_time(core::TaskState::kTmgrScheduling, t));
+  EXPECT_NEAR(t - start, 20.0, 0.5);
+}
+
+}  // namespace
+}  // namespace flotilla::workloads

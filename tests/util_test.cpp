@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "util/config.hpp"
+#include "util/error.hpp"
+#include "util/id_registry.hpp"
+#include "util/logging.hpp"
+#include "util/strfmt.hpp"
+
+namespace flotilla::util {
+namespace {
+
+TEST(Strfmt, CatConcatenatesMixedTypes) {
+  EXPECT_EQ(cat("tasks=", 42, " rate=", 1.5), "tasks=42 rate=1.5");
+  EXPECT_EQ(cat(), "");
+}
+
+TEST(Strfmt, FmtReplacesPlaceholdersInOrder) {
+  EXPECT_EQ(fmt("submit {} to {}", "t.1", "flux"), "submit t.1 to flux");
+}
+
+TEST(Strfmt, FmtSurplusArgumentsAreAppended) {
+  EXPECT_EQ(fmt("x={}", 1, 2), "x=1 2");
+}
+
+TEST(Strfmt, FmtSurplusPlaceholdersStayVerbatim) {
+  EXPECT_EQ(fmt("a={} b={}", 7), "a=7 b={}");
+}
+
+TEST(Config, ParsesPairsAndTrimsWhitespace) {
+  const auto config =
+      Config::from_pairs({" nodes = 4 ", "backend=flux", "# comment", ""});
+  EXPECT_EQ(config.get_int("nodes", -1), 4);
+  EXPECT_EQ(config.get_string("backend"), "flux");
+  EXPECT_FALSE(config.has("comment"));
+}
+
+TEST(Config, ParsesMultilineText) {
+  const auto config = Config::from_text("a=1\nb = two\n# note\nc=3.5");
+  EXPECT_EQ(config.get_int("a", 0), 1);
+  EXPECT_EQ(config.get_string("b"), "two");
+  EXPECT_DOUBLE_EQ(config.get_double("c", 0), 3.5);
+}
+
+TEST(Config, TypedGettersFallBack) {
+  const Config config;
+  EXPECT_EQ(config.get_int("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(config.get_double("missing", 0.5), 0.5);
+  EXPECT_TRUE(config.get_bool("missing", true));
+  EXPECT_EQ(config.get_string("missing", "x"), "x");
+}
+
+TEST(Config, TypedGettersRejectGarbage) {
+  const auto config = Config::from_pairs({"n=abc"});
+  EXPECT_THROW(config.get_int("n", 0), Error);
+}
+
+TEST(Config, BoolAcceptsCommonSpellings) {
+  const auto config =
+      Config::from_pairs({"a=true", "b=0", "c=YES", "d=off"});
+  EXPECT_TRUE(config.get_bool("a", false));
+  EXPECT_FALSE(config.get_bool("b", true));
+  EXPECT_TRUE(config.get_bool("c", false));
+  EXPECT_FALSE(config.get_bool("d", true));
+}
+
+TEST(Config, SubsetStripsPrefix) {
+  const auto config =
+      Config::from_pairs({"flux.partitions=4", "flux.nodes=16", "srun.x=1"});
+  const auto flux = config.subset("flux");
+  EXPECT_EQ(flux.get_int("partitions", 0), 4);
+  EXPECT_EQ(flux.get_int("nodes", 0), 16);
+  EXPECT_FALSE(flux.has("x"));
+}
+
+TEST(Config, MergedWithPrefersOther) {
+  const auto base = Config::from_pairs({"a=1", "b=2"});
+  const auto over = Config::from_pairs({"b=3", "c=4"});
+  const auto merged = base.merged_with(over);
+  EXPECT_EQ(merged.get_int("a", 0), 1);
+  EXPECT_EQ(merged.get_int("b", 0), 3);
+  EXPECT_EQ(merged.get_int("c", 0), 4);
+}
+
+TEST(Config, MissingEqualsThrows) {
+  EXPECT_THROW(Config::from_pairs({"justakey"}), Error);
+}
+
+TEST(IdRegistry, GeneratesSequentialPaddedIds) {
+  IdRegistry registry;
+  EXPECT_EQ(registry.next("task"), "task.000000");
+  EXPECT_EQ(registry.next("task"), "task.000001");
+  EXPECT_EQ(registry.next("pilot", 4), "pilot.0000");
+  EXPECT_EQ(registry.count("task"), 2u);
+  EXPECT_EQ(registry.count("pilot"), 1u);
+  EXPECT_EQ(registry.count("other"), 0u);
+}
+
+TEST(IdRegistry, ResetClearsCounters) {
+  IdRegistry registry;
+  registry.next("x");
+  registry.reset();
+  EXPECT_EQ(registry.next("x"), "x.000000");
+}
+
+TEST(Logging, RespectsLevelThreshold) {
+  auto sink = std::make_shared<CaptureSink>();
+  LogRegistry::instance().set_sink(sink);
+  LogRegistry::instance().set_level(LogLevel::kInfo);
+  Logger log("test");
+  log.debug("hidden");
+  log.info("visible ", 1);
+  log.error("boom");
+  LogRegistry::instance().set_sink(nullptr);
+
+  const auto lines = sink->lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "[INFO] test: visible 1");
+  EXPECT_EQ(lines[1], "[ERROR] test: boom");
+}
+
+TEST(Logging, LevelRoundTrip) {
+  EXPECT_EQ(log_level_from_string("trace"), LogLevel::kTrace);
+  EXPECT_EQ(log_level_from_string("error"), LogLevel::kError);
+  EXPECT_EQ(to_string(LogLevel::kWarn), "WARN");
+}
+
+TEST(Error, FlotCheckThrowsWithContext) {
+  try {
+    FLOT_CHECK(1 == 2, "value was ", 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace flotilla::util

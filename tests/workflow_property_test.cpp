@@ -1,0 +1,82 @@
+// Property test: random DAG campaigns always respect dependency order and
+// always drain.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/flotilla.hpp"
+#include "sim/random.hpp"
+#include "util/strfmt.hpp"
+
+namespace flotilla::core {
+namespace {
+
+class WorkflowDagProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(WorkflowDagProperty, RandomDagRespectsTopologicalOrder) {
+  sim::RngStream rng(GetParam());
+  Session session(platform::frontier_spec(), 8, GetParam());
+  PilotManager pmgr(session);
+  auto& pilot = pmgr.submit(
+      {.nodes = 8, .backends = {{.type = "flux", .partitions = 2}}});
+  pilot.launch([](bool ok, const std::string&) { ASSERT_TRUE(ok); });
+  session.run(240.0);
+  TaskManager tmgr(session, pilot.agent());
+  Workflow workflow(tmgr);
+
+  // Build a random DAG: each stage depends on a random subset of earlier
+  // stages (guaranteeing acyclicity by construction).
+  const int n_stages = static_cast<int>(rng.uniform_int(4, 14));
+  std::map<std::string, std::vector<std::string>> deps_of;
+  for (int s = 0; s < n_stages; ++s) {
+    const auto name = util::cat("stage.", s);
+    std::vector<std::string> deps;
+    for (int d = 0; d < s; ++d) {
+      if (rng.bernoulli(0.3)) deps.push_back(util::cat("stage.", d));
+    }
+    deps_of[name] = deps;
+    std::vector<TaskDescription> tasks;
+    const auto n_tasks = rng.uniform_int(1, 5);
+    for (int t = 0; t < n_tasks; ++t) {
+      TaskDescription desc;
+      desc.demand.cores = rng.uniform_int(1, 8);
+      desc.duration = rng.uniform(1.0, 30.0);
+      if (rng.bernoulli(0.1)) {
+        desc.fail_probability = 0.5;
+        desc.max_retries = 5;
+      }
+      tasks.push_back(std::move(desc));
+    }
+    workflow.add_stage(name, std::move(tasks), deps);
+  }
+
+  std::map<std::string, sim::Time> completed_at;
+  workflow.on_stage_complete([&](const std::string& stage) {
+    completed_at[stage] = session.now();
+  });
+  bool drained = false;
+  workflow.on_drained([&] { drained = true; });
+  workflow.start();
+  session.run();
+
+  EXPECT_TRUE(drained);
+  ASSERT_EQ(completed_at.size(), static_cast<std::size_t>(n_stages));
+  // Every stage completed no earlier than all of its dependencies.
+  for (const auto& [stage, deps] : deps_of) {
+    for (const auto& dep : deps) {
+      EXPECT_LE(completed_at.at(dep), completed_at.at(stage))
+          << stage << " finished before its dependency " << dep;
+    }
+  }
+  // All resources returned.
+  EXPECT_EQ(session.cluster().free_cores({0, 8}), 8 * 56);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkflowDagProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace flotilla::core
