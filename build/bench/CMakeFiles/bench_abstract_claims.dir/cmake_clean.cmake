@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abstract_claims.dir/bench_abstract_claims.cpp.o"
+  "CMakeFiles/bench_abstract_claims.dir/bench_abstract_claims.cpp.o.d"
+  "bench_abstract_claims"
+  "bench_abstract_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abstract_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flux_partitions.dir/bench_flux_partitions.cpp.o"
+  "CMakeFiles/bench_flux_partitions.dir/bench_flux_partitions.cpp.o.d"
+  "bench_flux_partitions"
+  "bench_flux_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flux_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

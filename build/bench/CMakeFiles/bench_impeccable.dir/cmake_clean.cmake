@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_impeccable.dir/bench_impeccable.cpp.o"
+  "CMakeFiles/bench_impeccable.dir/bench_impeccable.cpp.o.d"
+  "bench_impeccable"
+  "bench_impeccable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_impeccable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prrte.dir/bench_prrte.cpp.o"
+  "CMakeFiles/bench_prrte.dir/bench_prrte.cpp.o.d"
+  "bench_prrte"
+  "bench_prrte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prrte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

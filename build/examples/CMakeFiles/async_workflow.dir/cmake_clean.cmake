@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_workflow.dir/async_workflow.cpp.o"
+  "CMakeFiles/async_workflow.dir/async_workflow.cpp.o.d"
+  "async_workflow"
+  "async_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

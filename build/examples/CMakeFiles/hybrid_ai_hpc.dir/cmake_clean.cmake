@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_ai_hpc.dir/hybrid_ai_hpc.cpp.o"
+  "CMakeFiles/hybrid_ai_hpc.dir/hybrid_ai_hpc.cpp.o.d"
+  "hybrid_ai_hpc"
+  "hybrid_ai_hpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_ai_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

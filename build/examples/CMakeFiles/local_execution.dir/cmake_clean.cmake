@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_execution.dir/local_execution.cpp.o"
+  "CMakeFiles/local_execution.dir/local_execution.cpp.o.d"
+  "local_execution"
+  "local_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/latency.cpp" "src/analytics/CMakeFiles/flotilla_analytics.dir/latency.cpp.o" "gcc" "src/analytics/CMakeFiles/flotilla_analytics.dir/latency.cpp.o.d"
+  "/root/repo/src/analytics/metrics.cpp" "src/analytics/CMakeFiles/flotilla_analytics.dir/metrics.cpp.o" "gcc" "src/analytics/CMakeFiles/flotilla_analytics.dir/metrics.cpp.o.d"
+  "/root/repo/src/analytics/timeline.cpp" "src/analytics/CMakeFiles/flotilla_analytics.dir/timeline.cpp.o" "gcc" "src/analytics/CMakeFiles/flotilla_analytics.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/flotilla_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flotilla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

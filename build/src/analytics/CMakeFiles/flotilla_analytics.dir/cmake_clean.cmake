@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flotilla_analytics.dir/latency.cpp.o"
+  "CMakeFiles/flotilla_analytics.dir/latency.cpp.o.d"
+  "CMakeFiles/flotilla_analytics.dir/metrics.cpp.o"
+  "CMakeFiles/flotilla_analytics.dir/metrics.cpp.o.d"
+  "CMakeFiles/flotilla_analytics.dir/timeline.cpp.o"
+  "CMakeFiles/flotilla_analytics.dir/timeline.cpp.o.d"
+  "libflotilla_analytics.a"
+  "libflotilla_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flotilla_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flotilla_report.dir/session_report.cpp.o"
+  "CMakeFiles/flotilla_report.dir/session_report.cpp.o.d"
+  "libflotilla_report.a"
+  "libflotilla_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flotilla_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agent.cpp" "src/core/CMakeFiles/flotilla_core.dir/agent.cpp.o" "gcc" "src/core/CMakeFiles/flotilla_core.dir/agent.cpp.o.d"
+  "/root/repo/src/core/asyncflow.cpp" "src/core/CMakeFiles/flotilla_core.dir/asyncflow.cpp.o" "gcc" "src/core/CMakeFiles/flotilla_core.dir/asyncflow.cpp.o.d"
+  "/root/repo/src/core/pilot.cpp" "src/core/CMakeFiles/flotilla_core.dir/pilot.cpp.o" "gcc" "src/core/CMakeFiles/flotilla_core.dir/pilot.cpp.o.d"
+  "/root/repo/src/core/profiler.cpp" "src/core/CMakeFiles/flotilla_core.dir/profiler.cpp.o" "gcc" "src/core/CMakeFiles/flotilla_core.dir/profiler.cpp.o.d"
+  "/root/repo/src/core/service.cpp" "src/core/CMakeFiles/flotilla_core.dir/service.cpp.o" "gcc" "src/core/CMakeFiles/flotilla_core.dir/service.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/flotilla_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/flotilla_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/task.cpp" "src/core/CMakeFiles/flotilla_core.dir/task.cpp.o" "gcc" "src/core/CMakeFiles/flotilla_core.dir/task.cpp.o.d"
+  "/root/repo/src/core/task_manager.cpp" "src/core/CMakeFiles/flotilla_core.dir/task_manager.cpp.o" "gcc" "src/core/CMakeFiles/flotilla_core.dir/task_manager.cpp.o.d"
+  "/root/repo/src/core/workflow.cpp" "src/core/CMakeFiles/flotilla_core.dir/workflow.cpp.o" "gcc" "src/core/CMakeFiles/flotilla_core.dir/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/flotilla_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flotilla_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/flotilla_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/slurm/CMakeFiles/flotilla_slurm.dir/DependInfo.cmake"
+  "/root/repo/build/src/flux/CMakeFiles/flotilla_flux.dir/DependInfo.cmake"
+  "/root/repo/build/src/dragon/CMakeFiles/flotilla_dragon.dir/DependInfo.cmake"
+  "/root/repo/build/src/prrte/CMakeFiles/flotilla_prrte.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flotilla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

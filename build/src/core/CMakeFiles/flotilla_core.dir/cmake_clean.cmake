@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flotilla_core.dir/agent.cpp.o"
+  "CMakeFiles/flotilla_core.dir/agent.cpp.o.d"
+  "CMakeFiles/flotilla_core.dir/asyncflow.cpp.o"
+  "CMakeFiles/flotilla_core.dir/asyncflow.cpp.o.d"
+  "CMakeFiles/flotilla_core.dir/pilot.cpp.o"
+  "CMakeFiles/flotilla_core.dir/pilot.cpp.o.d"
+  "CMakeFiles/flotilla_core.dir/profiler.cpp.o"
+  "CMakeFiles/flotilla_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/flotilla_core.dir/service.cpp.o"
+  "CMakeFiles/flotilla_core.dir/service.cpp.o.d"
+  "CMakeFiles/flotilla_core.dir/session.cpp.o"
+  "CMakeFiles/flotilla_core.dir/session.cpp.o.d"
+  "CMakeFiles/flotilla_core.dir/task.cpp.o"
+  "CMakeFiles/flotilla_core.dir/task.cpp.o.d"
+  "CMakeFiles/flotilla_core.dir/task_manager.cpp.o"
+  "CMakeFiles/flotilla_core.dir/task_manager.cpp.o.d"
+  "CMakeFiles/flotilla_core.dir/workflow.cpp.o"
+  "CMakeFiles/flotilla_core.dir/workflow.cpp.o.d"
+  "libflotilla_core.a"
+  "libflotilla_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flotilla_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

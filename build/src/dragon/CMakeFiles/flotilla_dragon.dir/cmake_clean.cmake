@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flotilla_dragon.dir/dragon_backend.cpp.o"
+  "CMakeFiles/flotilla_dragon.dir/dragon_backend.cpp.o.d"
+  "CMakeFiles/flotilla_dragon.dir/function_executor.cpp.o"
+  "CMakeFiles/flotilla_dragon.dir/function_executor.cpp.o.d"
+  "CMakeFiles/flotilla_dragon.dir/runtime.cpp.o"
+  "CMakeFiles/flotilla_dragon.dir/runtime.cpp.o.d"
+  "libflotilla_dragon.a"
+  "libflotilla_dragon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flotilla_dragon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

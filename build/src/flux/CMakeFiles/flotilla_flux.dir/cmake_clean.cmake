@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flotilla_flux.dir/flux_backend.cpp.o"
+  "CMakeFiles/flotilla_flux.dir/flux_backend.cpp.o.d"
+  "CMakeFiles/flotilla_flux.dir/instance.cpp.o"
+  "CMakeFiles/flotilla_flux.dir/instance.cpp.o.d"
+  "libflotilla_flux.a"
+  "libflotilla_flux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flotilla_flux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flotilla_local.dir/process_pool.cpp.o"
+  "CMakeFiles/flotilla_local.dir/process_pool.cpp.o.d"
+  "libflotilla_local.a"
+  "libflotilla_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flotilla_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/cluster.cpp" "src/platform/CMakeFiles/flotilla_platform.dir/cluster.cpp.o" "gcc" "src/platform/CMakeFiles/flotilla_platform.dir/cluster.cpp.o.d"
+  "/root/repo/src/platform/node.cpp" "src/platform/CMakeFiles/flotilla_platform.dir/node.cpp.o" "gcc" "src/platform/CMakeFiles/flotilla_platform.dir/node.cpp.o.d"
+  "/root/repo/src/platform/placement_algo.cpp" "src/platform/CMakeFiles/flotilla_platform.dir/placement_algo.cpp.o" "gcc" "src/platform/CMakeFiles/flotilla_platform.dir/placement_algo.cpp.o.d"
+  "/root/repo/src/platform/spec_config.cpp" "src/platform/CMakeFiles/flotilla_platform.dir/spec_config.cpp.o" "gcc" "src/platform/CMakeFiles/flotilla_platform.dir/spec_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/flotilla_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flotilla_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flotilla_platform.dir/cluster.cpp.o"
+  "CMakeFiles/flotilla_platform.dir/cluster.cpp.o.d"
+  "CMakeFiles/flotilla_platform.dir/node.cpp.o"
+  "CMakeFiles/flotilla_platform.dir/node.cpp.o.d"
+  "CMakeFiles/flotilla_platform.dir/placement_algo.cpp.o"
+  "CMakeFiles/flotilla_platform.dir/placement_algo.cpp.o.d"
+  "CMakeFiles/flotilla_platform.dir/spec_config.cpp.o"
+  "CMakeFiles/flotilla_platform.dir/spec_config.cpp.o.d"
+  "libflotilla_platform.a"
+  "libflotilla_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flotilla_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

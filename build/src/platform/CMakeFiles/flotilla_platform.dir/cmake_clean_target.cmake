@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflotilla_platform.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prrte/dvm_backend.cpp" "src/prrte/CMakeFiles/flotilla_prrte.dir/dvm_backend.cpp.o" "gcc" "src/prrte/CMakeFiles/flotilla_prrte.dir/dvm_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/flotilla_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flotilla_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flotilla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

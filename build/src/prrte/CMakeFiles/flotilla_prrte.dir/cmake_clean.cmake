@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flotilla_prrte.dir/dvm_backend.cpp.o"
+  "CMakeFiles/flotilla_prrte.dir/dvm_backend.cpp.o.d"
+  "libflotilla_prrte.a"
+  "libflotilla_prrte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flotilla_prrte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

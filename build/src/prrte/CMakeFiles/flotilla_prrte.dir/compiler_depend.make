@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for flotilla_prrte.
+# This may be replaced when dependencies are built.

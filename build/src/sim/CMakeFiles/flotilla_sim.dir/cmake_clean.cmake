@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flotilla_sim.dir/engine.cpp.o"
+  "CMakeFiles/flotilla_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/flotilla_sim.dir/random.cpp.o"
+  "CMakeFiles/flotilla_sim.dir/random.cpp.o.d"
+  "CMakeFiles/flotilla_sim.dir/resource.cpp.o"
+  "CMakeFiles/flotilla_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/flotilla_sim.dir/server.cpp.o"
+  "CMakeFiles/flotilla_sim.dir/server.cpp.o.d"
+  "CMakeFiles/flotilla_sim.dir/stats.cpp.o"
+  "CMakeFiles/flotilla_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/flotilla_sim.dir/trace.cpp.o"
+  "CMakeFiles/flotilla_sim.dir/trace.cpp.o.d"
+  "libflotilla_sim.a"
+  "libflotilla_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flotilla_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flotilla_slurm.dir/slurmctld.cpp.o"
+  "CMakeFiles/flotilla_slurm.dir/slurmctld.cpp.o.d"
+  "CMakeFiles/flotilla_slurm.dir/srun_backend.cpp.o"
+  "CMakeFiles/flotilla_slurm.dir/srun_backend.cpp.o.d"
+  "libflotilla_slurm.a"
+  "libflotilla_slurm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flotilla_slurm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flotilla_util.dir/cli.cpp.o"
+  "CMakeFiles/flotilla_util.dir/cli.cpp.o.d"
+  "CMakeFiles/flotilla_util.dir/config.cpp.o"
+  "CMakeFiles/flotilla_util.dir/config.cpp.o.d"
+  "CMakeFiles/flotilla_util.dir/id_registry.cpp.o"
+  "CMakeFiles/flotilla_util.dir/id_registry.cpp.o.d"
+  "CMakeFiles/flotilla_util.dir/logging.cpp.o"
+  "CMakeFiles/flotilla_util.dir/logging.cpp.o.d"
+  "libflotilla_util.a"
+  "libflotilla_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flotilla_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

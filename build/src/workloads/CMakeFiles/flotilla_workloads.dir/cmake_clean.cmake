@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flotilla_workloads.dir/heterogeneous.cpp.o"
+  "CMakeFiles/flotilla_workloads.dir/heterogeneous.cpp.o.d"
+  "CMakeFiles/flotilla_workloads.dir/impeccable.cpp.o"
+  "CMakeFiles/flotilla_workloads.dir/impeccable.cpp.o.d"
+  "CMakeFiles/flotilla_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/flotilla_workloads.dir/synthetic.cpp.o.d"
+  "CMakeFiles/flotilla_workloads.dir/trace_replay.cpp.o"
+  "CMakeFiles/flotilla_workloads.dir/trace_replay.cpp.o.d"
+  "libflotilla_workloads.a"
+  "libflotilla_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flotilla_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncflow_test.dir/asyncflow_test.cpp.o"
+  "CMakeFiles/asyncflow_test.dir/asyncflow_test.cpp.o.d"
+  "asyncflow_test"
+  "asyncflow_test.pdb"
+  "asyncflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_contract_test.dir/backend_contract_test.cpp.o"
+  "CMakeFiles/backend_contract_test.dir/backend_contract_test.cpp.o.d"
+  "backend_contract_test"
+  "backend_contract_test.pdb"
+  "backend_contract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cancellation_config_test.dir/cancellation_config_test.cpp.o"
+  "CMakeFiles/cancellation_config_test.dir/cancellation_config_test.cpp.o.d"
+  "cancellation_config_test"
+  "cancellation_config_test.pdb"
+  "cancellation_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cancellation_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

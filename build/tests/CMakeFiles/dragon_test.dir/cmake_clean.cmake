@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dragon_test.dir/dragon_test.cpp.o"
+  "CMakeFiles/dragon_test.dir/dragon_test.cpp.o.d"
+  "dragon_test"
+  "dragon_test.pdb"
+  "dragon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dragon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dragon_threads_test.dir/dragon_threads_test.cpp.o"
+  "CMakeFiles/dragon_threads_test.dir/dragon_threads_test.cpp.o.d"
+  "dragon_threads_test"
+  "dragon_threads_test.pdb"
+  "dragon_threads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dragon_threads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gang_test.dir/gang_test.cpp.o"
+  "CMakeFiles/gang_test.dir/gang_test.cpp.o.d"
+  "gang_test"
+  "gang_test.pdb"
+  "gang_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

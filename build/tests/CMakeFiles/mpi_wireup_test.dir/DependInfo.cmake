@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mpi_wireup_test.cpp" "tests/CMakeFiles/mpi_wireup_test.dir/mpi_wireup_test.cpp.o" "gcc" "tests/CMakeFiles/mpi_wireup_test.dir/mpi_wireup_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slurm/CMakeFiles/flotilla_slurm.dir/DependInfo.cmake"
+  "/root/repo/build/src/flux/CMakeFiles/flotilla_flux.dir/DependInfo.cmake"
+  "/root/repo/build/src/dragon/CMakeFiles/flotilla_dragon.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/flotilla_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flotilla_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flotilla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

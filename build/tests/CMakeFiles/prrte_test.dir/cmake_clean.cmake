@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prrte_test.dir/prrte_test.cpp.o"
+  "CMakeFiles/prrte_test.dir/prrte_test.cpp.o.d"
+  "prrte_test"
+  "prrte_test.pdb"
+  "prrte_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prrte_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slurm_test.dir/slurm_test.cpp.o"
+  "CMakeFiles/slurm_test.dir/slurm_test.cpp.o.d"
+  "slurm_test"
+  "slurm_test.pdb"
+  "slurm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slurm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

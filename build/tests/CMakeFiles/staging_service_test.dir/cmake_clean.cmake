@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staging_service_test.dir/staging_service_test.cpp.o"
+  "CMakeFiles/staging_service_test.dir/staging_service_test.cpp.o.d"
+  "staging_service_test"
+  "staging_service_test.pdb"
+  "staging_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staging_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

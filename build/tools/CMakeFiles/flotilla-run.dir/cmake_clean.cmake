@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flotilla-run.dir/flotilla_run.cpp.o"
+  "CMakeFiles/flotilla-run.dir/flotilla_run.cpp.o.d"
+  "flotilla-run"
+  "flotilla-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flotilla-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
