@@ -17,6 +17,7 @@
 #include "core/task.hpp"
 #include "sim/random.hpp"
 #include "sim/server.hpp"
+#include "util/ordered.hpp"
 
 namespace flotilla::core {
 
@@ -44,9 +45,10 @@ class TaskManager {
   Agent& agent() { return agent_; }
   Session& session() { return session_; }
 
-  // Visits every task ever submitted (analytics/reporting).
+  // Visits every task ever submitted (analytics/reporting), in sorted uid
+  // order so downstream reports are reproducible.
   void for_each_task(const std::function<void(const Task&)>& fn) const {
-    for (const auto& [uid, task] : tasks_) fn(*task);
+    for (const auto& uid : util::sorted_keys(tasks_)) fn(*tasks_.at(uid));
   }
   std::size_t submitted() const { return total_submitted_; }
   std::size_t finished() const { return finished_; }

@@ -1,6 +1,7 @@
 #include "core/workflow.hpp"
 
 #include "util/error.hpp"
+#include "util/ordered.hpp"
 
 namespace flotilla::core {
 
@@ -29,12 +30,10 @@ void Workflow::add_stage(std::string name,
 void Workflow::start() {
   FLOT_CHECK(!started_, "workflow started twice");
   started_ = true;
-  // Copy names first: submissions can complete stages synchronously in
-  // degenerate cases and mutate the map's values.
-  std::vector<std::string> names;
-  names.reserve(stages_.size());
-  for (const auto& [name, stage] : stages_) names.push_back(name);
-  for (const auto& name : names) maybe_submit(name);
+  // Snapshot names first: submissions can complete stages synchronously in
+  // degenerate cases and mutate the map's values. Sorted so submission
+  // order never depends on hash layout.
+  for (const auto& name : util::sorted_keys(stages_)) maybe_submit(name);
 }
 
 bool Workflow::deps_met(const Stage& stage) const {
@@ -80,11 +79,13 @@ void Workflow::handle_completion(const Task& task) {
   }  // drop the reference: the handler below may add stages (rehash)
   if (stage_handler_) stage_handler_(stage_name);
 
-  // Unblock dependents over a name snapshot — adaptive handlers may have
-  // grown the map. (Linear scan is fine: campaigns have tens to hundreds
-  // of stages, and this runs once per completed stage.)
+  // Unblock dependents over a sorted name snapshot — adaptive handlers may
+  // have grown the map, and submission order must not depend on hash
+  // layout. (Linear scan is fine: campaigns have tens to hundreds of
+  // stages, and this runs once per completed stage.)
   std::vector<std::string> candidates;
-  for (const auto& [name, candidate] : stages_) {
+  for (const auto& name : util::sorted_keys(stages_)) {
+    const auto& candidate = stages_.at(name);
     if (!candidate.submitted && !candidate.complete) {
       candidates.push_back(name);
     }

@@ -4,6 +4,7 @@
 
 #include "platform/placement_algo.hpp"
 #include "util/error.hpp"
+#include "util/ordered.hpp"
 
 namespace flotilla::dragon {
 
@@ -150,7 +151,9 @@ void Runtime::crash(const std::string& reason) {
   healthy_ = false;
   for (auto& task : pending_) emit_finish(task, false, reason);
   pending_.clear();
-  for (auto& [id, task] : active_) {
+  // Sorted so the failure-event sequence is reproducible across runs.
+  for (const auto& id : util::sorted_keys(active_)) {
+    auto& task = active_.at(id);
     platform::release_placement(cluster_, task->placement);
     task->placement.slices.clear();
     emit_finish(task, false, reason);

@@ -22,6 +22,13 @@ class ShmemChannel {
       : buffer_(std::bit_ceil(min_capacity + 1)),
         mask_(buffer_.size() - 1) {}
 
+  // Ordering invariant (TSan-verified by
+  // ShmemChannel.StressProducerConsumerIndexOrdering): each side loads its
+  // own index relaxed (sole writer), loads the other side's index acquire,
+  // and publishes its slot access with a release store — so the slot write
+  // happens-before the consumer's read, and the consumer's read
+  // happens-before the producer reuses the slot.
+
   // Producer side. Returns false when full.
   bool try_send(T item) {
     const auto head = head_.load(std::memory_order_relaxed);

@@ -5,6 +5,7 @@
 
 #include "platform/placement_algo.hpp"
 #include "util/error.hpp"
+#include "util/ordered.hpp"
 
 namespace flotilla::flux {
 
@@ -105,8 +106,8 @@ void Instance::submit(Job job) {
     // of 200k+ jobs.
     const auto pos = std::upper_bound(
         pending_.begin(), pending_.end(), shared->priority,
-        [](int priority, const std::shared_ptr<Job>& job) {
-          return job->priority < priority;
+        [](int priority, const std::shared_ptr<Job>& queued) {
+          return queued->priority < priority;
         });
     pending_.insert(pos, shared);
     emit(JobEventKind::kSubmit, shared->id);
@@ -342,8 +343,10 @@ void Instance::crash(const std::string& reason) {
   pending_.clear();
   // Running jobs die with the broker. Resources are released here so the
   // pilot can reuse the nodes after failover; the jobs' pending finish
-  // timers become no-ops once removed from the active set.
-  for (auto& [id, job] : active_) {
+  // timers become no-ops once removed from the active set. Sorted order so
+  // the exception-event sequence is reproducible across runs.
+  for (const auto& id : util::sorted_keys(active_)) {
+    auto& job = active_.at(id);
     job->state = JobState::kInactive;
     platform::release_placement(cluster_, job->placement);
     job->placement.slices.clear();

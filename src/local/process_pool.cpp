@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <csignal>
+#include <utility>
 
 #include <sys/wait.h>
 #include <unistd.h>
@@ -28,16 +29,19 @@ ProcessPool::~ProcessPool() {
 
 void ProcessPool::spawn(std::vector<std::string> argv, Callback done) {
   FLOT_CHECK(!argv.empty(), "spawn needs an argv");
+  std::vector<Finished> failed;
   {
     std::lock_guard lock(mutex_);
     FLOT_CHECK(!stopping_, "spawn on a stopping pool");
     queue_.push_back(Pending{std::move(argv), std::move(done)});
-    start_pending_locked();
+    start_pending_locked(&failed);
   }
   state_changed_.notify_all();
+  run_callbacks(std::move(failed));
 }
 
-bool ProcessPool::start_one_locked(Pending&& pending) {
+bool ProcessPool::start_one_locked(Pending&& pending,
+                                   std::vector<Finished>* failed) {
   std::vector<char*> argv;
   argv.reserve(pending.argv.size() + 1);
   for (auto& arg : pending.argv) argv.push_back(arg.data());
@@ -45,12 +49,16 @@ bool ProcessPool::start_one_locked(Pending&& pending) {
 
   const pid_t pid = ::fork();
   if (pid < 0) {
-    // Out of process slots system-wide: report as failure.
+    // Out of process slots system-wide: report as failure. The callback
+    // must not run under mutex_ (it may call back into the pool), so it is
+    // handed to the caller; the in-flight count keeps wait_all() honest
+    // until it actually ran.
     ProcessResult result;
     result.exit_code = 127;
     ++launched_;
     ++completed_;
-    if (pending.done) pending.done(result);
+    ++callbacks_in_flight_;
+    failed->push_back(Finished{std::move(pending.done), result});
     return false;
   }
   if (pid == 0) {
@@ -65,12 +73,24 @@ bool ProcessPool::start_one_locked(Pending&& pending) {
   return true;
 }
 
-void ProcessPool::start_pending_locked() {
+void ProcessPool::start_pending_locked(std::vector<Finished>* failed) {
   while (!queue_.empty() && live_.size() < max_concurrent_) {
     Pending pending = std::move(queue_.front());
     queue_.pop_front();
-    start_one_locked(std::move(pending));
+    start_one_locked(std::move(pending), failed);
   }
+}
+
+void ProcessPool::run_callbacks(std::vector<Finished> ready) {
+  if (ready.empty()) return;
+  for (auto& finished : ready) {
+    if (finished.done) finished.done(finished.result);
+  }
+  {
+    std::lock_guard lock(mutex_);
+    callbacks_in_flight_ -= static_cast<unsigned>(ready.size());
+  }
+  state_changed_.notify_all();
 }
 
 void ProcessPool::reaper_loop() {
@@ -100,21 +120,26 @@ void ProcessPool::reaper_loop() {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       it->second.started)
             .count();
-    Callback done = std::move(it->second.done);
+    std::vector<Finished> ready;
+    ready.push_back(Finished{std::move(it->second.done), result});
+    ++callbacks_in_flight_;
     live_.erase(it);
     ++completed_;
-    start_pending_locked();
+    start_pending_locked(&ready);
     lock.unlock();
-    if (done) done(result);
+    run_callbacks(std::move(ready));
     lock.lock();
-    state_changed_.notify_all();
   }
 }
 
 void ProcessPool::wait_all() {
   std::unique_lock lock(mutex_);
-  state_changed_.wait(lock,
-                      [this] { return queue_.empty() && live_.empty(); });
+  // Includes callbacks still running on the reaper thread: "everything
+  // completed" must mean the completion callbacks have finished too, or a
+  // caller could tear down state a callback is about to touch.
+  state_changed_.wait(lock, [this] {
+    return queue_.empty() && live_.empty() && callbacks_in_flight_ == 0;
+  });
 }
 
 std::uint64_t ProcessPool::launched() const {

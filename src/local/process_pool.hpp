@@ -61,10 +61,22 @@ class ProcessPool {
     Callback done;
   };
 
+  // A completion whose user callback still has to run. Callbacks execute
+  // outside mutex_ (so they may call back into the pool), but wait_all()
+  // must not return before they finish — callbacks_in_flight_ tracks them.
+  struct Finished {
+    Callback done;
+    ProcessResult result;
+  };
+
   void reaper_loop();
   // Must hold mutex_; starts queued work while below the concurrency cap.
-  void start_pending_locked();
-  bool start_one_locked(Pending&& pending);
+  // Launch failures are appended to `failed` for the caller to report
+  // after releasing the lock.
+  void start_pending_locked(std::vector<Finished>* failed);
+  bool start_one_locked(Pending&& pending, std::vector<Finished>* failed);
+  // Runs callbacks without the lock held, then settles the in-flight count.
+  void run_callbacks(std::vector<Finished> ready);
 
   unsigned max_concurrent_;
   mutable std::mutex mutex_;
@@ -77,6 +89,7 @@ class ProcessPool {
   std::map<pid_t, Live> live_;
   std::uint64_t launched_ = 0;
   std::uint64_t completed_ = 0;
+  unsigned callbacks_in_flight_ = 0;
   bool stopping_ = false;
   std::thread reaper_;
 };

@@ -2,6 +2,7 @@
 
 #include "platform/placement_algo.hpp"
 #include "util/error.hpp"
+#include "util/ordered.hpp"
 
 namespace flotilla::prrte {
 
@@ -134,7 +135,10 @@ void DvmBackend::crash(const std::string& reason) {
   healthy_ = false;
   auto victims = std::move(active_);
   active_.clear();
-  for (auto& [id, task] : victims) finish(task, false, reason);
+  // Sorted so the failure-event sequence is reproducible across runs.
+  for (const auto& id : util::sorted_keys(victims)) {
+    finish(victims.at(id), false, reason);
+  }
 }
 
 void DvmBackend::shutdown() {

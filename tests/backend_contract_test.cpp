@@ -188,7 +188,7 @@ TEST_P(BackendContract, DeterministicAcrossIdenticalRuns) {
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, BackendContract,
                          ::testing::Values("srun", "flux", "dragon"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& param_info) { return param_info.param; });
 
 }  // namespace
 }  // namespace flotilla

@@ -69,7 +69,7 @@ TEST_P(SessionDeterminism, DivergesAcrossSeeds) {
 INSTANTIATE_TEST_SUITE_P(AllBackends, SessionDeterminism,
                          ::testing::Values("srun", "flux", "dragon",
                                            "prrte"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& param_info) { return param_info.param; });
 
 }  // namespace
 }  // namespace flotilla::core

@@ -185,5 +185,59 @@ TEST(FunctionExecutor, DefaultsToHardwareConcurrency) {
   EXPECT_GE(executor.worker_count(), 1u);
 }
 
+// ------------------------------------------- sanitizer regression stress
+
+// SPSC ring under sustained wrap-around with non-trivial payloads: every
+// slot hand-off must happen-before the matching read (the acquire/release
+// pairing on head_/tail_). TSan flags any ordering regression; ASan flags
+// premature slot reuse. The tiny ring keeps both sides wrapping constantly.
+TEST(ShmemChannel, StressProducerConsumerIndexOrdering) {
+  ShmemChannel<std::string> channel(8);
+  constexpr int kItems = 20000;
+  std::thread producer([&channel] {
+    for (int i = 0; i < kItems; ++i) {
+      const std::string payload = std::to_string(i);
+      while (!channel.try_send(payload)) std::this_thread::yield();
+    }
+  });
+  int expected = 0;
+  while (expected < kItems) {
+    if (auto item = channel.try_receive()) {
+      ASSERT_EQ(*item, std::to_string(expected));
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(channel.empty());
+}
+
+// Executor shutdown racing live submitters: a successful submit must imply
+// execution (close() drains), and a failed one must throw cleanly — never
+// lose a task, never touch freed queue state.
+TEST(FunctionExecutor, StressShutdownRacesSubmitters) {
+  for (int round = 0; round < 10; ++round) {
+    FunctionExecutor executor(2, 32);
+    std::atomic<std::uint64_t> accepted{0};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 3; ++t) {
+      submitters.emplace_back([&executor, &accepted] {
+        for (int i = 0; i < 400; ++i) {
+          try {
+            executor.submit([] {});
+            accepted.fetch_add(1);
+          } catch (const std::runtime_error&) {
+            return;  // executor went down mid-burst: expected
+          }
+        }
+      });
+    }
+    executor.shutdown();
+    for (auto& thread : submitters) thread.join();
+    EXPECT_EQ(executor.tasks_executed(), accepted.load());
+  }
+}
+
 }  // namespace
 }  // namespace flotilla::dragon

@@ -30,7 +30,9 @@ TEST(Heterogeneous, ClassShapesPropagate) {
       EXPECT_EQ(task.modality, platform::TaskModality::kFunction);
       EXPECT_EQ(task.demand.cores, 1);
     }
-    if (task.stage == "training") EXPECT_EQ(task.demand.gpus, 2);
+    if (task.stage == "training") {
+      EXPECT_EQ(task.demand.gpus, 2);
+    }
   }
 }
 

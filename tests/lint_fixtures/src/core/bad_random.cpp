@@ -1,0 +1,18 @@
+// Fixture: unseeded-random rule.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int noisy_choice(int n) {
+  std::random_device entropy;
+  std::mt19937 gen(entropy());
+  return static_cast<int>(gen() % static_cast<unsigned>(n));
+}
+
+int legacy_choice(int n) {
+  srand(42);
+  return rand() % n;
+}
+
+}  // namespace fixture

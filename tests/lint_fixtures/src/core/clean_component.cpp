@@ -1,0 +1,32 @@
+// Fixture: counter-example — everything here is legal. Mentions of rand()
+// or steady_clock in comments and string literals must not be flagged, and
+// iteration over an ordered snapshot of a hash map is the blessed pattern.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+// A component might document "do not call rand() or steady_clock here".
+inline const char* kHint = "deterministic: no rand(), no steady_clock";
+
+struct Registry {
+  std::unordered_map<std::string, int> slots_;
+
+  std::vector<std::string> sorted_names() const {
+    std::vector<std::string> names;
+    names.reserve(slots_.size());
+    for (std::size_t i = 0; i < slots_.size(); ++i) names.emplace_back();
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  int total(const std::vector<std::string>& names) const {
+    int sum = 0;
+    for (const auto& name : names) sum += slots_.count(name) ? 1 : 0;
+    return sum;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: dragon scope. Does NOT match *_backend.*, so a directory scan
+// must skip it (the threaded execution layer may use real clocks). Named
+// explicitly on the command line it is still checked.
+#include <chrono>
+
+namespace fixture {
+
+double worker_heartbeat() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace fixture

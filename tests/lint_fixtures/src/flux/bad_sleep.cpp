@@ -1,0 +1,11 @@
+// Fixture: real-sleep rule.
+#include <chrono>
+#include <thread>
+
+namespace fixture {
+
+void settle() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: hardware-concurrency rule.
+#include <thread>
+
+namespace fixture {
+
+unsigned pick_workers(unsigned requested) {
+  if (requested != 0) return requested;
+  return std::thread::hardware_concurrency();
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: wall-clock rule. Every clock access below must be flagged.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+double stamp_start() {
+  auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+long stamp_epoch() {
+  auto wall = std::chrono::system_clock::now();
+  (void)wall;
+  return ::time(nullptr);
+}
+
+double stamp_hr() {
+  return std::chrono::duration<double>(
+             std::chrono::high_resolution_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: unordered-iteration rule. The two range-fors over hash
+// containers must be flagged; the std::map loop must not.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct JobTable {
+  std::unordered_map<std::string, int> active_;
+  std::unordered_set<std::string> drained;
+  std::map<std::string, int> ordered_log;
+
+  std::vector<std::string> broadcast_cancel() {
+    std::vector<std::string> order;
+    for (const auto& [id, slot] : active_) {
+      (void)slot;
+      order.push_back(id);
+    }
+    for (const auto& id : drained) order.push_back(id);
+    for (const auto& [id, slot] : ordered_log) {
+      (void)slot;
+      order.push_back(id);
+    }
+    return order;
+  }
+};
+
+}  // namespace fixture

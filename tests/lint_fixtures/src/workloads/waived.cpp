@@ -1,0 +1,16 @@
+// Fixture: waiver handling. The first violation carries a well-formed
+// waiver and must be suppressed; the second has no reason and must still
+// be reported.
+#include <ctime>
+
+namespace fixture {
+
+long run_started_epoch() {
+  return ::time(nullptr);  // FLOTILLA_LINT_ALLOW(wall-clock): run metadata only, never enters sim time
+}
+
+long run_finished_epoch() {
+  return ::time(nullptr);  // FLOTILLA_LINT_ALLOW(wall-clock)
+}
+
+}  // namespace fixture

@@ -108,5 +108,58 @@ TEST(ProcessPool, DestructorDrainsOutstandingWork) {
   EXPECT_EQ(done.load(), 6);
 }
 
+// ------------------------------------------- sanitizer regression stress
+
+// Regression: wait_all() used to be able to return while the final
+// completion callback was still running on the reaper thread (live_ was
+// erased before the callback fired), so the count below could lag. Now
+// wait_all() also waits out callbacks in flight.
+TEST(ProcessPool, StressWaitAllSeesEveryCallback) {
+  for (int round = 0; round < 5; ++round) {
+    ProcessPool pool(4);
+    std::atomic<int> done{0};
+    constexpr int n = 24;
+    for (int i = 0; i < n; ++i) {
+      pool.spawn({"/bin/true"},
+                 [&](const ProcessResult&) { done.fetch_add(1); });
+    }
+    pool.wait_all();
+    ASSERT_EQ(done.load(), n);
+  }
+}
+
+// Regression: reaper shutdown under construct/spawn/destruct churn — the
+// destructor must drain work, stop the reaper exactly once, and join it
+// (TSan verifies the handshake; a hang here means a lost notify).
+TEST(ProcessPool, StressReaperShutdownChurn) {
+  for (int round = 0; round < 15; ++round) {
+    std::atomic<int> done{0};
+    {
+      ProcessPool pool(2);
+      for (int i = 0; i < 4; ++i) {
+        pool.spawn({"/bin/true"},
+                   [&](const ProcessResult&) { done.fetch_add(1); });
+      }
+    }
+    ASSERT_EQ(done.load(), 4);
+  }
+}
+
+// Completion callbacks run without the pool mutex held, so they may call
+// back into the pool (e.g. spawn follow-up work) without deadlocking; and
+// wait_all() must cover work spawned from a callback.
+TEST(ProcessPool, CallbackMaySpawnFollowUpWork) {
+  ProcessPool pool(2);
+  std::atomic<int> chain{0};
+  pool.spawn({"/bin/true"}, [&](const ProcessResult&) {
+    chain.fetch_add(1);
+    pool.spawn({"/bin/true"},
+               [&](const ProcessResult&) { chain.fetch_add(1); });
+  });
+  pool.wait_all();
+  EXPECT_EQ(chain.load(), 2);
+  EXPECT_EQ(pool.completed(), 2u);
+}
+
 }  // namespace
 }  // namespace flotilla::local

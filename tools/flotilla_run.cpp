@@ -4,7 +4,7 @@
 // three metrics plus the session-report overhead breakdown — the tool a
 // downstream user reaches for before writing code against the API.
 //
-//   $ flotilla-run --backend flux --nodes 64 --partitions 4 \
+//   $ flotilla-run --backend flux --nodes 64 --partitions 4
 //                  --workload dummy --tasks 14336 --duration 180
 //   $ flotilla-run --workload impeccable --backend srun --nodes 256
 //   $ flotilla-run --workload trace --trace-file workload.csv
