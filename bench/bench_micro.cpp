@@ -7,7 +7,7 @@
 #include "dragon/mpmc_queue.hpp"
 #include "dragon/shmem_channel.hpp"
 #include "platform/cluster.hpp"
-#include "platform/placement_algo.hpp"
+#include "sched/placement_policy.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
 #include "sim/resource.hpp"
@@ -77,15 +77,15 @@ void BM_PlacementSingleCore(benchmark::State& state) {
   std::vector<platform::Placement> held;
   for (auto _ : state) {
     auto placement =
-        platform::try_place(cluster, range, {1, 0, 0}, &cursor);
+        sched::linear_try_place(cluster, range, {1, 0, 0}, &cursor);
     if (placement) {
       held.push_back(std::move(*placement));
     } else {
-      for (auto& p : held) platform::release_placement(cluster, p);
+      for (auto& p : held) cluster.release(p);
       held.clear();
     }
   }
-  for (auto& p : held) platform::release_placement(cluster, p);
+  for (auto& p : held) cluster.release(p);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PlacementSingleCore)->Arg(16)->Arg(1024);
@@ -94,9 +94,9 @@ void BM_PlacementMpiChunks(benchmark::State& state) {
   platform::Cluster cluster(platform::frontier_spec(), 256);
   for (auto _ : state) {
     auto placement =
-        platform::try_place(cluster, cluster.all_nodes(), {7168, 0, 56});
+        sched::linear_try_place(cluster, cluster.all_nodes(), {7168, 0, 56});
     benchmark::DoNotOptimize(placement);
-    if (placement) platform::release_placement(cluster, *placement);
+    if (placement) cluster.release(*placement);
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "platform/placement_algo.hpp"
 #include "util/error.hpp"
 #include "util/strfmt.hpp"
 
@@ -29,6 +28,12 @@ void Agent::add_backend(std::unique_ptr<platform::TaskBackend> backend,
   slot.backend = std::move(backend);
   slot.submit_server = std::make_unique<sim::Server>(session_.engine(), 1);
   slot.submit_cost = submit_cost;
+  if (!slot.backend->self_scheduling()) {
+    // The agent is this backend's scheduler; give it a placer over the
+    // backend's span.
+    slot.placer = std::make_unique<sched::Placer>(session_.cluster(),
+                                                  slot.backend->span());
+  }
   slot.backend->on_task_start(
       [this](const std::string& uid) { handle_start(uid); });
   slot.backend->on_task_complete(
@@ -160,14 +165,10 @@ bool Agent::cancel(const std::string& uid) {
   // Waitlisted tasks can be removed right away; everything else cancels at
   // its next pipeline step.
   for (auto& slot : backends_) {
-    for (auto wit = slot.waitlist.begin(); wit != slot.waitlist.end();
-         ++wit) {
-      if ((*wit)->uid() != uid) continue;
-      slot.waitlist.erase(wit);
-      task->set_error("canceled by user");
-      finalize(std::move(task), TaskState::kCanceled);
-      return true;
-    }
+    if (slot.waitlist.remove(uid) == nullptr) continue;
+    task->set_error("canceled by user");
+    finalize(std::move(task), TaskState::kCanceled);
+    return true;
   }
   return true;
 }
@@ -236,11 +237,14 @@ void Agent::submit_to(BackendSlot& slot, std::shared_ptr<Task> task) {
 }
 
 bool Agent::place_and_launch(BackendSlot& slot, std::shared_ptr<Task> task) {
-  auto placement =
-      platform::try_place(session_.cluster(), slot.backend->span(),
-                          task->description().demand, &slot.cursor);
+  auto placement = slot.placer->place(task->description().demand);
   if (!placement) {
-    slot.waitlist.push_back(std::move(task));
+    sched::QueueEntry entry;
+    entry.id = task->uid();
+    entry.priority = task->description().priority;
+    entry.demand = task->description().demand;
+    entry.payload = std::move(task);
+    slot.waitlist.push(std::move(entry));
     return false;
   }
   platform::LaunchRequest request;
@@ -266,21 +270,26 @@ Agent::BackendSlot* Agent::slot_of(const std::string& backend_name) {
 void Agent::release_held(BackendSlot& slot, const std::string& uid) {
   const auto it = slot.held.find(uid);
   if (it == slot.held.end()) return;
-  platform::release_placement(session_.cluster(), it->second);
+  slot.placer->release(it->second);
   slot.held.erase(it);
   drain_waitlist(slot);
 }
 
 void Agent::drain_waitlist(BackendSlot& slot) {
-  // Strict FIFO: stop at the first task that still does not fit (no
-  // skipping — the agent scheduler mirrors its FIFO admission).
-  while (!slot.waitlist.empty() && slot.backend->healthy()) {
-    auto placement = platform::try_place(
-        session_.cluster(), slot.backend->span(),
-        slot.waitlist.front()->description().demand, &slot.cursor);
-    if (!placement) return;
-    auto task = std::move(slot.waitlist.front());
-    slot.waitlist.pop_front();
+  // The waitlist policy bounds how far past a blocked entry a drain pass
+  // may look. The default FIFO policy is strict (head only): the first
+  // task that does not fit blocks the rest, mirroring the agent
+  // scheduler's FIFO admission. After every launch the scan restarts —
+  // capacity changed.
+  std::size_t i = 0;
+  while (slot.backend->healthy() && i < slot.waitlist.scan_limit()) {
+    auto placement = slot.placer->place(slot.waitlist.at(i).demand);
+    if (!placement) {
+      ++i;
+      continue;
+    }
+    auto task =
+        std::static_pointer_cast<Task>(slot.waitlist.take(i).payload);
     platform::LaunchRequest request;
     request.id = task->uid();
     request.demand = task->description().demand;
@@ -291,6 +300,7 @@ void Agent::drain_waitlist(BackendSlot& slot) {
     request.preplaced = true;
     slot.held.emplace(task->uid(), std::move(*placement));
     slot.backend->submit(std::move(request));
+    i = 0;
   }
 }
 
@@ -316,9 +326,8 @@ void Agent::handle_completion(const platform::LaunchOutcome& outcome) {
     if (!slot->backend->healthy() && !slot->waitlist.empty()) {
       // The backend died: re-route its waitlisted tasks (they never
       // launched, so this is failover, not a retry).
-      auto waitlist = std::move(slot->waitlist);
-      slot->waitlist.clear();
-      for (auto& waiting : waitlist) {
+      for (auto& entry : slot->waitlist.drain()) {
+        auto waiting = std::static_pointer_cast<Task>(std::move(entry.payload));
         waiting->advance(TaskState::kAgentScheduling, session_.now());
         execute(std::move(waiting));
       }
@@ -407,9 +416,8 @@ void Agent::shutdown() {
   shut_down_ = true;
   for (auto& slot : backends_) {
     // Waitlisted tasks never reached a backend; cancel them here.
-    auto waitlist = std::move(slot.waitlist);
-    slot.waitlist.clear();
-    for (auto& task : waitlist) {
+    for (auto& entry : slot.waitlist.drain()) {
+      auto task = std::static_pointer_cast<Task>(std::move(entry.payload));
       task->set_error("agent shut down");
       finalize(std::move(task), TaskState::kCanceled);
     }

@@ -12,7 +12,6 @@
 // routes retries around unhealthy backends (§3.2's failover behaviour).
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -23,6 +22,8 @@
 #include "core/session.hpp"
 #include "core/task.hpp"
 #include "platform/backend.hpp"
+#include "sched/placer.hpp"
+#include "sched/queue.hpp"
 #include "sim/random.hpp"
 #include "sim/server.hpp"
 
@@ -103,10 +104,13 @@ class Agent {
     bool ready = false;
     // State for externally scheduled backends (self_scheduling() false):
     // the agent places tasks itself, holds their resources, and waitlists
-    // tasks that do not fit until a completion frees capacity.
-    platform::NodeId cursor = 0;
+    // tasks that do not fit until a completion frees capacity. The placer
+    // rotates an indexed first-fit cursor over the backend's span; the
+    // waitlist policy is strict FIFO (head-of-line blocking) to mirror
+    // the agent scheduler's FIFO admission.
+    std::unique_ptr<sched::Placer> placer;
     std::unordered_map<std::string, platform::Placement> held;
-    std::deque<std::shared_ptr<Task>> waitlist;
+    sched::TaskQueue waitlist{std::make_unique<sched::FifoPolicy>()};
   };
 
   void enter_scheduling(std::shared_ptr<Task> task);

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "platform/placement_algo.hpp"
 #include "util/error.hpp"
 #include "util/ordered.hpp"
 
@@ -17,7 +16,8 @@ Runtime::Runtime(sim::Engine& engine, platform::Cluster& cluster,
       cal_(cal),
       rng_(seed, "dragon"),
       dispatcher_(engine, 1),
-      cursor_(span.first) {
+      pending_(std::make_unique<sched::FifoPolicy>()),
+      placer_(cluster, span) {
   FLOT_CHECK(span.count >= 1, "dragon runtime needs at least one node");
   FLOT_CHECK(span.end() <= cluster.size(), "span exceeds cluster");
 }
@@ -72,11 +72,16 @@ void Runtime::dispatch(std::shared_ptr<Task> task) {
           emit_finish(task, false, "runtime down");
           return;
         }
-        auto placement = platform::try_place(cluster_, span_,
-                                             task->request.demand, &cursor_);
+        auto placement = placer_.place(task->request.demand);
         if (!placement) {
-          // No internal scheduler: the task simply waits for capacity.
-          pending_.push_back(std::move(task));
+          // No internal scheduler: the task simply waits for capacity,
+          // entering the queue wherever its admission policy says.
+          sched::QueueEntry entry;
+          entry.id = task->request.id;
+          entry.priority = task->request.priority;
+          entry.demand = task->request.demand;
+          entry.payload = std::move(task);
+          pending_.push(std::move(entry));
           return;
         }
         task->placement = std::move(*placement);
@@ -114,7 +119,7 @@ void Runtime::start_task(std::shared_ptr<Task> task) {
 
 void Runtime::finish_task(std::shared_ptr<Task> task) {
   if (active_.erase(task->request.id) == 0) return;  // crash reaped it
-  platform::release_placement(cluster_, task->placement);
+  placer_.release(task->placement);
   task->placement.slices.clear();
   ++completed_;
   const bool failed = task->request.fail_probability > 0.0 &&
@@ -127,8 +132,7 @@ void Runtime::drain_pending() {
   // Freed capacity admits waiting tasks, oldest first; each re-dispatch
   // costs another pass through the dispatcher.
   if (pending_.empty()) return;
-  auto task = std::move(pending_.front());
-  pending_.pop_front();
+  auto task = std::static_pointer_cast<Task>(pending_.pop_front().payload);
   dispatch(std::move(task));
 }
 
@@ -149,12 +153,13 @@ void Runtime::emit_finish(std::shared_ptr<Task> task, bool success,
 void Runtime::crash(const std::string& reason) {
   if (!healthy_) return;
   healthy_ = false;
-  for (auto& task : pending_) emit_finish(task, false, reason);
-  pending_.clear();
+  for (auto& entry : pending_.drain()) {
+    emit_finish(std::static_pointer_cast<Task>(entry.payload), false, reason);
+  }
   // Sorted so the failure-event sequence is reproducible across runs.
   for (const auto& id : util::sorted_keys(active_)) {
     auto& task = active_.at(id);
-    platform::release_placement(cluster_, task->placement);
+    placer_.release(task->placement);
     task->placement.slices.clear();
     emit_finish(task, false, reason);
   }

@@ -16,7 +16,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -25,6 +24,8 @@
 #include "platform/backend.hpp"
 #include "platform/calibration.hpp"
 #include "platform/cluster.hpp"
+#include "sched/placer.hpp"
+#include "sched/queue.hpp"
 #include "sim/random.hpp"
 #include "sim/server.hpp"
 
@@ -67,6 +68,13 @@ class Runtime {
   std::size_t running() const { return active_.size(); }
   std::uint64_t completed() const { return completed_; }
 
+  // Replaces the capacity queue's admission policy (default: strict FIFO,
+  // Dragon has no internal scheduler). White-box hook for exercising
+  // priority/backfill semantics through the shared QueuePolicy.
+  void set_queue_policy(std::unique_ptr<sched::QueuePolicy> policy) {
+    pending_.set_policy(std::move(policy));
+  }
+
  private:
   struct Task {
     platform::LaunchRequest request;
@@ -90,9 +98,9 @@ class Runtime {
   platform::DragonCalibration cal_;
   sim::RngStream rng_;
   sim::Server dispatcher_;
-  std::deque<std::shared_ptr<Task>> pending_;  // waiting for capacity
+  sched::TaskQueue pending_;  // waiting for capacity
   std::unordered_map<std::string, std::shared_ptr<Task>> active_;
-  platform::NodeId cursor_;
+  sched::Placer placer_;  // rotating indexed first-fit over the span
   EventHandler event_handler_;
   bool ready_ = false;
   bool bootstrap_started_ = false;

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "platform/placement_algo.hpp"
 #include "util/error.hpp"
 #include "util/ordered.hpp"
 
@@ -18,7 +17,11 @@ Instance::Instance(std::string name, sim::Engine& engine,
       partition_(partition),
       cal_(cal),
       rng_(seed, name_),
-      rank0_(engine, 1) {
+      rank0_(engine, 1),
+      pending_(std::make_unique<sched::BackfillPolicy>(backfill_depth)),
+      backfill_(static_cast<sched::BackfillPolicy*>(&pending_.policy())),
+      placer_(cluster, partition,
+              sched::PlacerOptions{.rotate_cursor = false}) {
   FLOT_CHECK(partition.count >= 1, "flux instance needs at least one node");
   FLOT_CHECK(partition.end() <= cluster.size(),
              "partition exceeds cluster: end=", partition.end());
@@ -100,16 +103,17 @@ void Instance::submit(Job job) {
       emit(JobEventKind::kException, shared->id, false, "broker crashed");
       return;
     }
-    // Priority queue with FIFO tie-breaking (Flux urgency semantics).
-    // pending_ is kept sorted by non-increasing priority, so the insertion
-    // point is a binary search — O(log n) even with paper-scale backlogs
-    // of 200k+ jobs.
-    const auto pos = std::upper_bound(
-        pending_.begin(), pending_.end(), shared->priority,
-        [](int priority, const std::shared_ptr<Job>& queued) {
-          return queued->priority < priority;
-        });
-    pending_.insert(pos, shared);
+    // Priority queue with FIFO tie-breaking (Flux urgency semantics) —
+    // the shared BackfillPolicy keeps pending_ sorted by non-increasing
+    // priority with a binary-search insertion point.
+    sched::QueueEntry entry;
+    entry.id = shared->id;
+    entry.priority = shared->priority;
+    entry.gang = shared->gang;
+    entry.gang_size = shared->gang_size;
+    entry.demand = shared->demand;
+    entry.payload = shared;
+    pending_.push(std::move(entry));
     emit(JobEventKind::kSubmit, shared->id);
     kick_scheduler();
   });
@@ -132,14 +136,14 @@ void Instance::kick_scheduler() {
   rank0_.submit(sched_decision_cost(), [this] { run_sched_decision(); });
 }
 
-bool Instance::try_schedule_gang(const std::string& gang) {
+bool Instance::try_schedule_gang(std::string gang) {
   // Collect the gang's members; schedule only once all of them arrived.
   std::vector<std::shared_ptr<Job>> members;
   int declared_size = 0;
-  for (const auto& job : pending_) {
-    if (job->gang != gang) continue;
-    members.push_back(job);
-    declared_size = std::max(declared_size, job->gang_size);
+  for (const auto& entry : pending_.entries()) {
+    if (entry.gang != gang) continue;
+    members.push_back(std::static_pointer_cast<Job>(entry.payload));
+    declared_size = std::max(declared_size, entry.gang_size);
   }
   if (members.empty() ||
       static_cast<int>(members.size()) < declared_size) {
@@ -149,12 +153,9 @@ bool Instance::try_schedule_gang(const std::string& gang) {
   std::vector<platform::Placement> placements;
   placements.reserve(members.size());
   for (const auto& member : members) {
-    auto placement =
-        platform::try_place(cluster_, partition_, member->demand);
+    auto placement = placer_.place(member->demand);
     if (!placement) {
-      for (const auto& held : placements) {
-        platform::release_placement(cluster_, held);
-      }
+      for (const auto& held : placements) placer_.release(held);
       return false;
     }
     placements.push_back(std::move(*placement));
@@ -164,11 +165,8 @@ bool Instance::try_schedule_gang(const std::string& gang) {
     members[m]->state = JobState::kSched;
     active_.emplace(members[m]->id, members[m]);
   }
-  pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
-                                [&gang](const std::shared_ptr<Job>& job) {
-                                  return job->gang == gang;
-                                }),
-                 pending_.end());
+  pending_.remove_if(
+      [&gang](const sched::QueueEntry& entry) { return entry.gang == gang; });
   for (const auto& member : members) emit(JobEventKind::kAlloc, member->id);
   dispatch_gang(std::move(members));
   return true;
@@ -181,30 +179,28 @@ void Instance::run_sched_decision() {
   // backfill_depth younger jobs for one that does. Gangs schedule as a
   // unit; a gang that cannot be placed (or is incomplete) is skipped as a
   // whole for this pass.
-  const auto scan_limit = std::min<std::size_t>(
-      pending_.size(), static_cast<std::size_t>(backfill_depth));
+  backfill_->set_depth(backfill_depth);  // white-box tuning writes through
+  const auto scan_limit = pending_.scan_limit();
   std::vector<std::string> failed_gangs;
   for (std::size_t i = 0; i < scan_limit && i < pending_.size(); ++i) {
-    auto& candidate = pending_[i];
-    if (!candidate->gang.empty()) {
+    const auto& candidate = pending_.at(i);
+    if (!candidate.gang.empty()) {
       if (std::find(failed_gangs.begin(), failed_gangs.end(),
-                    candidate->gang) != failed_gangs.end()) {
+                    candidate.gang) != failed_gangs.end()) {
         continue;
       }
-      if (try_schedule_gang(candidate->gang)) {
+      if (try_schedule_gang(candidate.gang)) {
         kick_scheduler();
         return;
       }
-      failed_gangs.push_back(candidate->gang);
+      failed_gangs.push_back(candidate.gang);
       continue;
     }
-    auto placement =
-        platform::try_place(cluster_, partition_, candidate->demand);
+    auto placement = placer_.place(candidate.demand);
     if (!placement) continue;
-    auto job = candidate;
+    auto job = std::static_pointer_cast<Job>(pending_.take(i).payload);
     job->placement = std::move(*placement);
     job->state = JobState::kSched;
-    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
     // Tracked from allocation on, so a crash mid-spawn still reaps it.
     active_.emplace(job->id, job);
     emit(JobEventKind::kAlloc, job->id);
@@ -320,7 +316,7 @@ void Instance::job_finished(std::shared_ptr<Job> job) {
   const double cost = rng_.lognormal_mean_cv(cal_.event_cost, cal_.jitter_cv);
   rank0_.submit(cost, [this, job, failed, finished] {
     if (active_.erase(job->id) == 0) return;  // crash already reaped it
-    platform::release_placement(cluster_, job->placement);
+    placer_.release(job->placement);
     job->placement.slices.clear();
     FLOT_CHECK(running_ > 0, "completion without running job");
     --running_;
@@ -335,12 +331,12 @@ void Instance::job_finished(std::shared_ptr<Job> job) {
 void Instance::crash(const std::string& reason) {
   if (!healthy_) return;
   healthy_ = false;
-  // Queued jobs raise exceptions.
-  for (auto& job : pending_) {
+  // Queued jobs raise exceptions, in queue order.
+  for (auto& entry : pending_.drain()) {
+    auto job = std::static_pointer_cast<Job>(entry.payload);
     job->state = JobState::kInactive;
     emit(JobEventKind::kException, job->id, false, reason);
   }
-  pending_.clear();
   // Running jobs die with the broker. Resources are released here so the
   // pilot can reuse the nodes after failover; the jobs' pending finish
   // timers become no-ops once removed from the active set. Sorted order so
@@ -348,7 +344,7 @@ void Instance::crash(const std::string& reason) {
   for (const auto& id : util::sorted_keys(active_)) {
     auto& job = active_.at(id);
     job->state = JobState::kInactive;
-    platform::release_placement(cluster_, job->placement);
+    placer_.release(job->placement);
     job->placement.slices.clear();
     emit(JobEventKind::kException, id, false, reason);
   }

@@ -19,7 +19,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -29,6 +28,8 @@
 #include "flux/job.hpp"
 #include "platform/calibration.hpp"
 #include "platform/cluster.hpp"
+#include "sched/placer.hpp"
+#include "sched/queue.hpp"
 #include "sim/random.hpp"
 #include "sim/server.hpp"
 
@@ -83,7 +84,8 @@ class Instance {
             sim::Time finished = 0.0);
   void kick_scheduler();
   void run_sched_decision();
-  bool try_schedule_gang(const std::string& gang);
+  // By value: the tag outlives the queue entries remove_if destroys.
+  bool try_schedule_gang(std::string gang);
   void dispatch(std::shared_ptr<Job> job);
   void dispatch_gang(std::vector<std::shared_ptr<Job>> members);
   void job_started(std::shared_ptr<Job> job);
@@ -98,7 +100,11 @@ class Instance {
   sim::RngStream rng_;
   sim::Server rank0_;  // ingest + sched + event handling serialize here
   std::vector<std::unique_ptr<sim::Server>> exec_;  // per-node spawn servers
-  std::deque<std::shared_ptr<Job>> pending_;
+  // Fluxion equivalent: priority queue with bounded backfill, and a fixed
+  // scan origin (the matcher rescans the partition from the top).
+  sched::TaskQueue pending_;
+  sched::BackfillPolicy* backfill_;  // owned by pending_
+  sched::Placer placer_;
   std::unordered_map<std::string, std::shared_ptr<Job>> active_;
   std::unordered_map<std::string, Eventlog> eventlogs_;
   EventHandler event_handler_;

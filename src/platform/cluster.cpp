@@ -21,6 +21,28 @@ Cluster::Cluster(PlatformSpec spec, int num_nodes) : spec_(std::move(spec)) {
     nodes_.emplace_back(static_cast<NodeId>(i), spec_.cores_per_node,
                         spec_.gpus_per_node);
   }
+  for (auto& node : nodes_) node.attach_owner(this);
+}
+
+void Cluster::release(const Placement& placement) {
+  for (const auto& slice : placement.slices) node(slice.node).release(slice);
+}
+
+void Cluster::add_observer(Observer* observer) {
+  FLOT_CHECK(observer != nullptr, "null cluster observer");
+  observers_.push_back(observer);
+}
+
+void Cluster::remove_observer(Observer* observer) {
+  for (auto it = observers_.begin(); it != observers_.end(); ++it) {
+    if (*it != observer) continue;
+    observers_.erase(it);
+    return;
+  }
+}
+
+void Cluster::notify_node_changed(NodeId id) {
+  for (Observer* observer : observers_) observer->node_changed(id);
 }
 
 Node& Cluster::node(NodeId id) {

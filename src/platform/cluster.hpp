@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "platform/node.hpp"
+#include "platform/placement.hpp"
 #include "platform/types.hpp"
 
 namespace flotilla::platform {
@@ -29,7 +30,23 @@ PlatformSpec frontier_spec();
 
 class Cluster {
  public:
+  // Observes per-node capacity changes. Free-capacity indexes (the
+  // scheduling subsystem's FreeResourceIndex) subscribe here so they stay
+  // coherent no matter who allocates — a placer, a test poking nodes
+  // directly, or overlapping backends sharing a span.
+  class Observer {
+   public:
+    virtual ~Observer() = default;
+    // Fired after every successful allocate/release on `node`.
+    virtual void node_changed(NodeId node) = 0;
+  };
+
   Cluster(PlatformSpec spec, int num_nodes);
+
+  // Nodes notify their owning cluster by address; pinning the cluster in
+  // place keeps those back-references (and observers) valid.
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
 
   const PlatformSpec& spec() const { return spec_; }
   int size() const { return static_cast<int>(nodes_.size()); }
@@ -38,6 +55,14 @@ class Cluster {
   const Node& node(NodeId id) const;
 
   NodeRange all_nodes() const { return NodeRange{0, size()}; }
+
+  // Frees every slice of `placement` back to its node.
+  void release(const Placement& placement);
+
+  void add_observer(Observer* observer);
+  void remove_observer(Observer* observer);
+  // Called by Node after each successful allocate/release.
+  void notify_node_changed(NodeId id);
 
   // Aggregates over a node range.
   std::int64_t total_cores(NodeRange range) const;
@@ -52,6 +77,7 @@ class Cluster {
  private:
   PlatformSpec spec_;
   std::vector<Node> nodes_;
+  std::vector<Observer*> observers_;
 };
 
 }  // namespace flotilla::platform

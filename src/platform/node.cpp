@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "platform/cluster.hpp"
 #include "util/error.hpp"
 
 namespace flotilla::platform {
@@ -51,7 +52,12 @@ std::optional<NodeSlice> Node::allocate(int cores, int gpus) {
   gpu_free_mask_ = static_cast<std::uint8_t>(gpu_free_mask_ ^ slice.gpu_mask);
   free_cores_ -= cores;
   free_gpus_ -= gpus;
+  notify_changed();
   return slice;
+}
+
+void Node::notify_changed() {
+  if (owner_ != nullptr) owner_->notify_node_changed(id_);
 }
 
 void Node::release(const NodeSlice& slice) {
@@ -65,6 +71,7 @@ void Node::release(const NodeSlice& slice) {
   gpu_free_mask_ = static_cast<std::uint8_t>(gpu_free_mask_ | slice.gpu_mask);
   free_cores_ += slice.cores();
   free_gpus_ += slice.gpus();
+  notify_changed();
 }
 
 }  // namespace flotilla::platform

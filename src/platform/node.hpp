@@ -13,6 +13,8 @@
 
 namespace flotilla::platform {
 
+class Cluster;
+
 // The core/GPU indices a task occupies on one node.
 struct NodeSlice {
   NodeId node = 0;
@@ -46,7 +48,13 @@ class Node {
   // violation and throws.
   void release(const NodeSlice& slice);
 
+  // Wired by the owning Cluster so capacity changes reach its observers.
+  void attach_owner(Cluster* owner) { owner_ = owner; }
+
  private:
+  void notify_changed();
+
+  Cluster* owner_ = nullptr;
   NodeId id_;
   int total_cores_;
   int total_gpus_;

@@ -1,6 +1,5 @@
 #include "prrte/dvm_backend.hpp"
 
-#include "platform/placement_algo.hpp"
 #include "util/error.hpp"
 #include "util/ordered.hpp"
 

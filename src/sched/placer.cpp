@@ -1,0 +1,37 @@
+#include "sched/placer.hpp"
+
+#include "util/error.hpp"
+
+namespace flotilla::sched {
+
+Placer::Placer(platform::Cluster& cluster, platform::NodeRange range,
+               PlacerOptions options)
+    : cluster_(cluster),
+      range_(range),
+      options_(options),
+      policy_(make_placement_policy(options.policy)),
+      cursor_(range.first) {
+  FLOT_CHECK(range.count >= 1, "placer needs a non-empty range");
+  FLOT_CHECK(range.end() <= cluster.size(),
+             "placer range exceeds cluster: end=", range.end());
+  if (options_.use_index) {
+    index_ = std::make_unique<FreeResourceIndex>(cluster_, range_);
+  }
+}
+
+std::optional<platform::Placement> Placer::place(
+    const platform::ResourceDemand& demand) {
+  ++stats_.attempts;
+  PlacementInput in{cluster_, range_,
+                    options_.rotate_cursor ? &cursor_ : nullptr,
+                    index_.get()};
+  auto placement = policy_->place(in, demand);
+  placement ? ++stats_.placed : ++stats_.rejected;
+  return placement;
+}
+
+void Placer::release(const platform::Placement& placement) {
+  cluster_.release(placement);
+}
+
+}  // namespace flotilla::sched

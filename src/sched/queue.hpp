@@ -1,0 +1,164 @@
+// Shared task-queue policies for the backend schedulers.
+//
+// Every backend used to keep its own pending queue with subtly different
+// ordering code: flux/instance.cpp's priority deque with backfill, the
+// agent's strict-FIFO waitlist for externally scheduled backends, dragon's
+// capacity queue. A QueuePolicy decides exactly two things — where a new
+// entry is inserted, and how deep a scheduling pass may scan past a blocked
+// head — so the queues themselves share one implementation and one set of
+// tests (see docs/scheduling.md).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "platform/types.hpp"
+#include "util/error.hpp"
+
+namespace flotilla::sched {
+
+// One queued unit of work. `payload` carries the backend's own task object
+// (flux::Job, core::Task, ...) through the queue without the queue knowing
+// its type; the scheduling-relevant fields are mirrored alongside so
+// policies and drain loops never need to downcast.
+struct QueueEntry {
+  std::string id;
+  int priority = 16;  // Flux urgency scale: 0..31, higher first
+  std::string gang;
+  int gang_size = 0;
+  platform::ResourceDemand demand;
+  std::shared_ptr<void> payload;
+};
+
+class QueuePolicy {
+ public:
+  virtual ~QueuePolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  // Index at which `entry` enters `entries` (0 = head, size() = tail).
+  virtual std::size_t insertion_index(const std::deque<QueueEntry>& entries,
+                                      const QueueEntry& entry) const = 0;
+
+  // How many entries from the head one scheduling pass may consider before
+  // giving up. 1 means strict head-of-line blocking: an entry that does
+  // not fit blocks everything behind it until resources free up.
+  virtual std::size_t scan_limit(std::size_t queue_size) const = 0;
+};
+
+// Strict FIFO: arrival order, head-only scheduling. The agent's waitlist
+// for externally scheduled backends (PRRTE DVM) and dragon's capacity
+// queue both use this by default.
+class FifoPolicy : public QueuePolicy {
+ public:
+  const char* name() const override { return "fifo"; }
+  std::size_t insertion_index(const std::deque<QueueEntry>& entries,
+                              const QueueEntry& entry) const override;
+  std::size_t scan_limit(std::size_t queue_size) const override;
+};
+
+// Non-increasing priority with FIFO tie-break (Flux urgency semantics):
+// an entry enters after every queued entry of equal or higher priority.
+// Scheduling remains head-only.
+class PriorityFifoPolicy : public QueuePolicy {
+ public:
+  const char* name() const override { return "priority-fifo"; }
+  std::size_t insertion_index(const std::deque<QueueEntry>& entries,
+                              const QueueEntry& entry) const override;
+  std::size_t scan_limit(std::size_t queue_size) const override;
+};
+
+// Priority order plus bounded-depth backfill: a scheduling pass may skip
+// up to `depth` blocked entries looking for one that fits — Flux's
+// FCFS-with-backfill scheduler (flux::Instance::backfill_depth writes
+// through to this policy each pass).
+class BackfillPolicy : public PriorityFifoPolicy {
+ public:
+  explicit BackfillPolicy(int depth) { set_depth(depth); }
+
+  const char* name() const override { return "backfill"; }
+  std::size_t scan_limit(std::size_t queue_size) const override;
+
+  void set_depth(int depth) {
+    FLOT_CHECK(depth >= 1, "backfill depth must be >= 1, got ", depth);
+    depth_ = depth;
+  }
+  int depth() const { return depth_; }
+
+ private:
+  int depth_ = 1;
+};
+
+// A policy-ordered queue of entries. Deques keep iteration deterministic
+// (the determinism lint forbids unordered containers on scheduling paths).
+class TaskQueue {
+ public:
+  explicit TaskQueue(std::unique_ptr<QueuePolicy> policy)
+      : policy_(std::move(policy)) {
+    FLOT_CHECK(policy_ != nullptr, "task queue needs a policy");
+  }
+
+  void push(QueueEntry entry) {
+    const auto pos = policy_->insertion_index(entries_, entry);
+    FLOT_CHECK(pos <= entries_.size(), "insertion index out of range");
+    entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(pos),
+                    std::move(entry));
+  }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  // Entries one scheduling pass may consider, from the head.
+  std::size_t scan_limit() const {
+    return std::min(entries_.size(), policy_->scan_limit(entries_.size()));
+  }
+
+  const QueueEntry& at(std::size_t i) const { return entries_.at(i); }
+
+  QueueEntry take(std::size_t i) {
+    QueueEntry entry = std::move(entries_.at(i));
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+    return entry;
+  }
+
+  QueueEntry pop_front() { return take(0); }
+
+  // Removes the entry with `id`; returns its payload, or nullptr if absent.
+  std::shared_ptr<void> remove(const std::string& id) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].id != id) continue;
+      return take(i).payload;
+    }
+    return nullptr;
+  }
+
+  template <typename Pred>
+  void remove_if(Pred pred) {
+    entries_.erase(
+        std::remove_if(entries_.begin(), entries_.end(), std::move(pred)),
+        entries_.end());
+  }
+
+  // Empties the queue, returning the entries in queue order.
+  std::deque<QueueEntry> drain() { return std::exchange(entries_, {}); }
+
+  const std::deque<QueueEntry>& entries() const { return entries_; }
+
+  QueuePolicy& policy() { return *policy_; }
+  const QueuePolicy& policy() const { return *policy_; }
+
+  void set_policy(std::unique_ptr<QueuePolicy> policy) {
+    FLOT_CHECK(policy != nullptr, "task queue needs a policy");
+    policy_ = std::move(policy);
+  }
+
+ private:
+  std::unique_ptr<QueuePolicy> policy_;
+  std::deque<QueueEntry> entries_;
+};
+
+}  // namespace flotilla::sched

@@ -17,7 +17,7 @@ Slurmctld::Slurmctld(sim::Engine& engine, platform::Cluster& cluster,
       rng_(seed, "slurmctld"),
       rpc_create_(engine, 1),
       rpc_complete_(engine, 1),
-      cursor_(allocation.first) {
+      placer_(cluster, allocation) {
   FLOT_CHECK(allocation.count >= 1, "empty allocation");
   FLOT_CHECK(allocation.end() <= cluster.size(),
              "allocation exceeds cluster: end=", allocation.end());
@@ -69,12 +69,12 @@ void Slurmctld::complete_step(platform::Placement placement,
 }
 
 void Slurmctld::release(const platform::Placement& placement) {
-  platform::release_placement(cluster_, placement);
+  placer_.release(placement);
 }
 
 std::optional<platform::Placement> Slurmctld::try_place(
     const platform::ResourceDemand& demand) {
-  return platform::try_place(cluster_, allocation_, demand, &cursor_);
+  return placer_.place(demand);
 }
 
 }  // namespace flotilla::slurm

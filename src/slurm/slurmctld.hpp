@@ -20,7 +20,7 @@
 #include "platform/calibration.hpp"
 #include "platform/cluster.hpp"
 #include "platform/placement.hpp"
-#include "platform/placement_algo.hpp"
+#include "sched/placer.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
 #include "sim/server.hpp"
@@ -83,7 +83,7 @@ class Slurmctld {
   // completions against each other, but not across the two.
   sim::Server rpc_create_;
   sim::Server rpc_complete_;
-  platform::NodeId cursor_;  // rotating first-fit cursor
+  sched::Placer placer_;  // rotating indexed first-fit over the allocation
   std::uint64_t steps_created_ = 0;
   std::uint64_t retries_served_ = 0;
 };

@@ -11,12 +11,14 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "dragon/dragon_backend.hpp"
 #include "flux/flux_backend.hpp"
 #include "platform/backend.hpp"
 #include "platform/calibration.hpp"
 #include "platform/cluster.hpp"
+#include "sched/queue.hpp"
 #include "slurm/srun_backend.hpp"
 #include "util/strfmt.hpp"
 
@@ -189,6 +191,154 @@ TEST_P(BackendContract, DeterministicAcrossIdenticalRuns) {
 INSTANTIATE_TEST_SUITE_P(AllBackends, BackendContract,
                          ::testing::Values("srun", "flux", "dragon"),
                          [](const auto& param_info) { return param_info.param; });
+
+// ----------------------------------------------------- queue semantics
+//
+// Every self-scheduling backend's pending queue is a sched::TaskQueue
+// behind a shared QueuePolicy (src/sched/queue.hpp); these tests exercise
+// priority and backfill semantics through each backend's public surface.
+// srun is the deliberate exception: slurmctld keeps no server-side queue
+// at all — blocked clients poll with backoff — so no queue policy can
+// apply there (documented by the last test).
+
+platform::LaunchRequest request_with_priority(const std::string& id,
+                                              std::int64_t cores,
+                                              double duration, int priority) {
+  platform::LaunchRequest req;
+  req.id = id;
+  req.demand.cores = cores;
+  req.duration = duration;
+  req.priority = priority;
+  return req;
+}
+
+TEST(QueueSemantics, FluxOrdersBlockedJobsByPriorityWithFifoTies) {
+  // One partition, so every job shares a single pending queue.
+  sim::Engine engine;
+  platform::Cluster cluster(platform::frontier_spec(), 4);
+  flux::FluxBackend backend(engine, cluster, {0, 4}, 1,
+                            platform::frontier_calibration().flux, 42);
+  bool ready = false;
+  backend.bootstrap([&](bool ok, const std::string&) { ready = ok; });
+  engine.run(300.0);
+  ASSERT_TRUE(ready);
+  std::vector<std::string> starts;
+  backend.on_task_start([&](const std::string& id) { starts.push_back(id); });
+  backend.on_task_complete([](const platform::LaunchOutcome&) {});
+  // A whole-allocation blocker runs; whole-allocation jobs submitted
+  // behind it queue (backfill cannot help — nothing fits).
+  backend.submit(request_with_priority("blocker", 224, 50.0, 16));
+  engine.run(engine.now() + 10.0);
+  backend.submit(request_with_priority("low", 224, 1.0, 8));
+  backend.submit(request_with_priority("mid.0", 224, 1.0, 16));
+  backend.submit(request_with_priority("mid.1", 224, 1.0, 16));
+  backend.submit(request_with_priority("high", 224, 1.0, 24));
+  engine.run();
+  // Shared PriorityFifoPolicy: higher priority first, FIFO within a tie.
+  EXPECT_EQ(starts, (std::vector<std::string>{"blocker", "high", "mid.0",
+                                              "mid.1", "low"}));
+}
+
+TEST(QueueSemantics, FluxBackfillDepthGovernsHeadOfLineBlocking) {
+  // A blocked whole-allocation job at the queue head: strict FCFS
+  // (depth 1) idles the machine behind it, while a deeper scan lets the
+  // single-core tasks backfill around it. Both depths run through the
+  // same BackfillPolicy — only the configured depth differs.
+  auto small_start_span = [](int backfill_depth) {
+    sim::Engine engine;
+    platform::Cluster cluster(platform::frontier_spec(), 4);
+    flux::FluxBackend backend(engine, cluster, {0, 4}, 1,
+                              platform::frontier_calibration().flux, 42,
+                              nullptr, backfill_depth);
+    bool ready = false;
+    backend.bootstrap([&](bool ok, const std::string&) { ready = ok; });
+    engine.run(300.0);
+    EXPECT_TRUE(ready);
+    const sim::Time base = engine.now();
+    sim::Time last_small_start = 0.0;
+    backend.on_task_start([&](const std::string& id) {
+      if (id.rfind("small.", 0) == 0) last_small_start = engine.now() - base;
+    });
+    backend.on_task_complete([](const platform::LaunchOutcome&) {});
+    // The running job leaves 24 cores free; the whole-allocation job at
+    // the queue head cannot start, but the single-core tasks behind it
+    // could — if the scan depth lets the scheduler reach them.
+    backend.submit(request_with_priority("running", 200, 100.0, 16));
+    backend.submit(request_with_priority("blocked", 224, 1.0, 16));
+    for (int i = 0; i < 10; ++i) {
+      backend.submit(request_with_priority(util::cat("small.", i), 1, 1.0, 16));
+    }
+    engine.run();
+    return last_small_start;
+  };
+  EXPECT_GT(small_start_span(1), 90.0);   // waited for the 100 s head job
+  EXPECT_LT(small_start_span(64), 50.0);  // backfilled around it
+}
+
+TEST(QueueSemantics, DragonDefaultQueueIsFifoRegardlessOfPriority) {
+  BackendHarness harness("dragon");
+  ASSERT_TRUE(harness.bootstrap());
+  std::vector<std::string> starts;
+  harness.backend->on_task_start(
+      [&](const std::string& id) { starts.push_back(id); });
+  harness.backend->on_task_complete([](const platform::LaunchOutcome&) {});
+  harness.backend->submit(request_with_priority("blocker", 224, 60.0, 16));
+  harness.engine.run(harness.engine.now() + 20.0);
+  harness.backend->submit(request_with_priority("low", 224, 1.0, 8));
+  harness.backend->submit(request_with_priority("high", 224, 1.0, 24));
+  harness.engine.run();
+  // Dragon has no internal scheduler: capacity waits drain in arrival
+  // order even when priorities differ.
+  EXPECT_EQ(starts,
+            (std::vector<std::string>{"blocker", "low", "high"}));
+}
+
+TEST(QueueSemantics, DragonHonorsInjectedPriorityPolicy) {
+  sim::Engine engine;
+  platform::Cluster cluster(platform::frontier_spec(), 4);
+  dragon::DragonBackend backend(engine, cluster, {0, 4},
+                                platform::frontier_calibration().dragon, 42);
+  // Same shared policy type flux uses — swapped in through the white-box
+  // hook, exercising the whole queue path under priority ordering.
+  backend.runtime(0).set_queue_policy(
+      std::make_unique<sched::PriorityFifoPolicy>());
+  bool ready = false;
+  backend.bootstrap([&](bool ok, const std::string&) { ready = ok; });
+  engine.run(300.0);
+  ASSERT_TRUE(ready);
+  std::vector<std::string> starts;
+  backend.on_task_start([&](const std::string& id) { starts.push_back(id); });
+  backend.on_task_complete([](const platform::LaunchOutcome&) {});
+  backend.submit(request_with_priority("blocker", 224, 60.0, 16));
+  engine.run(engine.now() + 20.0);
+  backend.submit(request_with_priority("low", 224, 1.0, 8));
+  backend.submit(request_with_priority("high", 224, 1.0, 24));
+  engine.run();
+  EXPECT_EQ(starts,
+            (std::vector<std::string>{"blocker", "high", "low"}));
+}
+
+TEST(QueueSemantics, SrunHasNoServerQueueBlockedClientsPoll) {
+  BackendHarness harness("srun");
+  ASSERT_TRUE(harness.bootstrap());
+  int completions = 0;
+  harness.backend->on_task_complete(
+      [&](const platform::LaunchOutcome& outcome) {
+        EXPECT_TRUE(outcome.success);
+        ++completions;
+      });
+  // 100 four-core steps over 224 cores: the overflow cannot queue in the
+  // controller — each blocked srun client polls with backoff, and every
+  // poll is another RPC the controller must serve.
+  for (int i = 0; i < 100; ++i) {
+    harness.backend->submit(request_of(i, 5.0, 4));
+  }
+  harness.engine.run();
+  EXPECT_EQ(completions, 100);
+  auto& srun = static_cast<slurm::SrunBackend&>(*harness.backend);
+  EXPECT_EQ(srun.controller().steps_created(), 100u);
+  EXPECT_GT(srun.controller().retries_served(), 0u);
+}
 
 }  // namespace
 }  // namespace flotilla

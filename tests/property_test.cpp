@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "platform/cluster.hpp"
-#include "platform/placement_algo.hpp"
+#include "sched/placement_policy.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
 #include "sim/resource.hpp"
@@ -39,7 +39,7 @@ TEST_P(PlacementProperty, RandomPlaceReleaseKeepsClusterConsistent) {
       demand.gpus = rng.uniform_int(0, 12);
       if (rng.bernoulli(0.2)) demand.cores_per_node = 56;  // MPI chunked
       auto placement =
-          platform::try_place(cluster, range, demand, &cursor);
+          sched::linear_try_place(cluster, range, demand, &cursor);
       if (!placement) continue;
       // Exactly the demanded resources are claimed.
       ASSERT_EQ(placement->total_cores(), demand.cores);
@@ -62,7 +62,7 @@ TEST_P(PlacementProperty, RandomPlaceReleaseKeepsClusterConsistent) {
           rng.uniform_int(0, static_cast<std::int64_t>(held.size()) - 1));
       held_cores -= held[victim].total_cores();
       held_gpus -= held[victim].total_gpus();
-      platform::release_placement(cluster, held[victim]);
+      cluster.release(held[victim]);
       held.erase(held.begin() + static_cast<std::ptrdiff_t>(victim));
     }
     // Global accounting matches the ledger at every step.
@@ -72,7 +72,7 @@ TEST_P(PlacementProperty, RandomPlaceReleaseKeepsClusterConsistent) {
               static_cast<std::int64_t>(nodes) * 8 - held_gpus);
   }
   for (const auto& placement : held) {
-    platform::release_placement(cluster, placement);
+    cluster.release(placement);
   }
   ASSERT_EQ(cluster.free_cores(range), static_cast<std::int64_t>(nodes) * 56);
   ASSERT_EQ(cluster.free_gpus(range), static_cast<std::int64_t>(nodes) * 8);
@@ -92,12 +92,12 @@ TEST(PlacementProperty, ChunkedPlacementIsAtomic) {
       cluster.node(i).allocate(static_cast<int>(rng.uniform_int(0, 56)), 0);
     }
     const auto before = cluster.free_cores(cluster.all_nodes());
-    const auto placement = platform::try_place(
+    const auto placement = sched::linear_try_place(
         cluster, cluster.all_nodes(), {56 * 6, 0, 56});
     if (placement) {
       EXPECT_EQ(cluster.free_cores(cluster.all_nodes()),
                 before - 56 * 6);
-      platform::release_placement(cluster, *placement);
+      cluster.release(*placement);
     }
     EXPECT_EQ(cluster.free_cores(cluster.all_nodes()), before);
   }

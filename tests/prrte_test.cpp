@@ -7,8 +7,8 @@
 #include <vector>
 
 #include "core/flotilla.hpp"
-#include "platform/placement_algo.hpp"
 #include "prrte/dvm_backend.hpp"
+#include "sched/placement_policy.hpp"
 #include "util/error.hpp"
 #include "util/strfmt.hpp"
 
@@ -46,7 +46,7 @@ struct DvmFixture {
     req.demand.cores = cores;
     req.duration = duration;
     auto placement =
-        platform::try_place(cluster, NodeRange{0, 4}, req.demand, &cursor);
+        sched::linear_try_place(cluster, NodeRange{0, 4}, req.demand, &cursor);
     EXPECT_TRUE(placement.has_value());
     req.placement = std::move(*placement);
     req.preplaced = true;
@@ -94,7 +94,7 @@ TEST(DvmBackend, RunsPreplacedTasks) {
   EXPECT_EQ(done, 50);
   // The caller owns the placements (the DVM never frees resources).
   for (const auto& placement : held) {
-    platform::release_placement(fx.cluster, placement);
+    fx.cluster.release(placement);
   }
   EXPECT_EQ(fx.cluster.free_cores(NodeRange{0, 4}), 224);
 }
@@ -109,7 +109,7 @@ TEST(DvmBackend, LaunchesFasterThanSchedulingBackends) {
   std::vector<platform::Placement> held;
   fx.backend.on_task_complete([&](const platform::LaunchOutcome&) {
     // Free immediately so placement never runs out.
-    platform::release_placement(fx.cluster, held.back());
+    fx.cluster.release(held.back());
     held.pop_back();
   });
   int submitted = 0;
@@ -148,7 +148,7 @@ TEST(DvmBackend, CrashFailsActiveTasks) {
   EXPECT_EQ(failed, 20);
   EXPECT_EQ(fx.backend.inflight(), 0u);
   for (const auto& placement : held) {
-    platform::release_placement(fx.cluster, placement);
+    fx.cluster.release(placement);
   }
 }
 

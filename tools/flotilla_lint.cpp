@@ -89,8 +89,8 @@ bool allowlisted(const std::string& path) {
 
 // Directories whose code is simulation code (checked when scanning a tree).
 const char* const kScopedDirs[] = {
-    "src/sim/",     "src/core/", "src/slurm/",    "src/flux/",
-    "src/prrte/",   "src/platform/", "src/workloads/",
+    "src/sim/",   "src/core/",     "src/slurm/",     "src/flux/",
+    "src/prrte/", "src/platform/", "src/workloads/", "src/sched/",
 };
 
 bool in_scope(const std::string& path) {
