@@ -1,0 +1,28 @@
+// Scenario generator: draws one randomized-but-valid ScenarioSpec.
+//
+// "Valid" means every generated scenario is expected to PASS all
+// invariants — the generator stays inside the simulator's documented
+// contracts (e.g. task demands are capped so they fit the smallest
+// schedulable unit of every backend in the mix, because backends without
+// admission checks queue an unsatisfiable task forever). Anything the
+// fuzzer then flags is a real defect, not a malformed scenario.
+#pragma once
+
+#include "check/spec.hpp"
+#include "sim/random.hpp"
+
+namespace flotilla::check {
+
+ScenarioSpec generate_scenario(sim::RngStream& rng);
+
+// The largest single-node (cores, gpus) and multi-node (nodes) demand that
+// fits the smallest partition of every backend in the mix. Exposed for the
+// workload builder and tests.
+struct UnitCaps {
+  int nodes = 1;              // smallest partition's node count
+  std::int64_t cores = 56;    // per-node schedulable cores
+  std::int64_t gpus = 8;      // per-node GPUs
+};
+UnitCaps unit_caps(const ScenarioSpec& spec);
+
+}  // namespace flotilla::check

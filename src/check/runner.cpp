@@ -1,0 +1,334 @@
+#include "check/runner.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "check/generator.hpp"
+#include "core/pilot.hpp"
+#include "core/session.hpp"
+#include "core/task_manager.hpp"
+#include "dragon/dragon_backend.hpp"
+#include "flux/flux_backend.hpp"
+#include "prrte/dvm_backend.hpp"
+#include "sched/queue.hpp"
+#include "sim/random.hpp"
+#include "util/error.hpp"
+#include "util/strfmt.hpp"
+#include "workloads/heterogeneous.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace flotilla::check {
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+sched::PlacementPolicyKind placement_kind(const std::string& name) {
+  if (name == "first-fit") return sched::PlacementPolicyKind::kFirstFit;
+  if (name == "best-fit") return sched::PlacementPolicyKind::kBestFit;
+  if (name == "gpu-pack") return sched::PlacementPolicyKind::kGpuPack;
+  util::raise("spec: unknown placement policy: ", name);
+}
+
+bool mix_has(const ScenarioSpec& spec, const std::string& type) {
+  return std::any_of(spec.backends.begin(), spec.backends.end(),
+                     [&](const auto& b) { return b.type == type; });
+}
+
+// IMPECCABLE-shaped mixture (dock/train/infer/scoring/reinvent families)
+// scaled down to the smallest schedulable unit of the scenario's mix.
+std::vector<workloads::TaskClass> impeccable_classes(const ScenarioSpec& spec,
+                                                     const UnitCaps& caps) {
+  const double base = std::max(0.25, spec.duration);
+  const bool functions = mix_has(spec, "dragon");
+  std::vector<workloads::TaskClass> classes;
+  classes.push_back({"dock", 6.0, 1, 0, 0, base, 0.3,
+                     platform::TaskModality::kExecutable});
+  classes.push_back({"train", 1.0, 4, 2, 0, 2.0 * base, 0.2,
+                     platform::TaskModality::kExecutable});
+  classes.push_back({"infer", 2.0, 1, 1, 0, 0.5 * base, 0.3,
+                     functions ? platform::TaskModality::kFunction
+                               : platform::TaskModality::kExecutable});
+  if (caps.nodes >= 2) {
+    classes.push_back({"mmpbsa", 1.0, 2 * caps.cores, 0, caps.cores, base, 0.2,
+                       platform::TaskModality::kExecutable});
+  } else {
+    classes.push_back({"mmpbsa", 1.0, caps.cores / 2, 0, 0, base, 0.2,
+                       platform::TaskModality::kExecutable});
+  }
+  classes.push_back({"reinvent", 1.0, 2, 1, 0, base, 0.2,
+                     platform::TaskModality::kExecutable});
+  return classes;
+}
+
+std::vector<workloads::TaskClass> hetero_classes(const ScenarioSpec& spec,
+                                                 const UnitCaps& caps) {
+  const double base = std::max(0.25, spec.duration);
+  const bool functions = mix_has(spec, "dragon");
+  std::vector<workloads::TaskClass> classes;
+  if (functions) {
+    classes.push_back({"func", 3.0, 1, 0, 0, 0.2 * base, 0.5,
+                       platform::TaskModality::kFunction});
+  }
+  classes.push_back({"small", 4.0, 1, 0, 0, base, 0.3,
+                     platform::TaskModality::kExecutable});
+  classes.push_back({"medium", 2.0, 4, 0, 0, 2.0 * base, 0.3,
+                     platform::TaskModality::kExecutable});
+  classes.push_back(
+      {"gpu", 1.0, 2, 1, 0, base, 0.3, platform::TaskModality::kExecutable});
+  if (caps.nodes >= 2) {
+    classes.push_back({"mpi", 1.0, 2 * caps.cores, 0, caps.cores, 2.0 * base,
+                       0.2, platform::TaskModality::kExecutable});
+  }
+  return classes;
+}
+
+std::vector<core::TaskDescription> build_workload(const ScenarioSpec& spec) {
+  const auto caps = unit_caps(spec);
+  std::vector<core::TaskDescription> tasks;
+  if (spec.workload == "null" || spec.workload == "sleep") {
+    const double duration = spec.workload == "null" ? 0.0 : spec.duration;
+    tasks = workloads::uniform_tasks(spec.tasks, duration,
+                                     std::min(spec.cores, caps.cores));
+    const auto gpus = std::min(spec.gpus, caps.gpus);
+    for (auto& t : tasks) t.demand.gpus = gpus;
+  } else if (spec.workload == "hetero") {
+    tasks = workloads::heterogeneous_tasks(spec.tasks,
+                                           hetero_classes(spec, caps),
+                                           spec.seed ^ 0x9e3779b97f4a7c15ull);
+  } else if (spec.workload == "impeccable") {
+    tasks = workloads::heterogeneous_tasks(spec.tasks,
+                                           impeccable_classes(spec, caps),
+                                           spec.seed ^ 0xbf58476d1ce4e5b9ull);
+  } else {
+    util::raise("spec: unknown workload: ", spec.workload);
+  }
+
+  // Decorations the workload generators do not model: failure injection,
+  // retry budgets, priorities and staged data.
+  sim::RngStream rng(spec.seed, "check.workload");
+  for (auto& t : tasks) {
+    t.fail_probability = spec.fail_probability;
+    t.max_retries = spec.max_retries;
+    if (rng.bernoulli(0.5)) {
+      t.priority = static_cast<int>(rng.uniform_int(0, 31));
+    }
+    if (rng.bernoulli(0.2)) t.input_mb = rng.uniform(1.0, 64.0);
+    if (rng.bernoulli(0.2)) t.output_mb = rng.uniform(1.0, 64.0);
+  }
+  return tasks;
+}
+
+// Post-build scheduler knobs the PilotDescription cannot express: swap the
+// placement policy of every flux instance / dragon runtime, and optionally
+// the dragon capacity queue's admission policy.
+void apply_knobs(core::Agent& agent, const ScenarioSpec& spec) {
+  const auto kind = placement_kind(spec.placement);
+  if (auto* tb = agent.backend("flux")) {
+    auto* fb = static_cast<flux::FluxBackend*>(tb);
+    for (int i = 0; i < fb->partitions(); ++i) {
+      fb->instance(i).set_placement_policy(kind);
+    }
+  }
+  if (auto* tb = agent.backend("dragon")) {
+    auto* db = static_cast<dragon::DragonBackend*>(tb);
+    for (int i = 0; i < db->partitions(); ++i) {
+      db->runtime(i).set_placement_policy(kind);
+      if (spec.dragon_queue == "priority") {
+        db->runtime(i).set_queue_policy(
+            std::make_unique<sched::PriorityFifoPolicy>());
+      }
+    }
+  }
+}
+
+void apply_crash(core::Agent& agent, const FaultSpec& fault) {
+  auto* tb = agent.backend(fault.backend);
+  if (tb == nullptr) return;  // backend dropped during bootstrap
+  if (fault.backend == "flux") {
+    auto* fb = static_cast<flux::FluxBackend*>(tb);
+    const int i = fault.index % std::max(1, fb->partitions());
+    if (fb->instance(i).healthy()) {
+      fb->crash_instance(i, "fault injection: broker lost");
+    }
+  } else if (fault.backend == "dragon") {
+    auto* db = static_cast<dragon::DragonBackend*>(tb);
+    const int i = fault.index % std::max(1, db->partitions());
+    if (db->runtime(i).healthy()) {
+      db->crash("fault injection: runtime lost", i);
+    }
+  } else if (fault.backend == "prrte") {
+    auto* pb = static_cast<prrte::DvmBackend*>(tb);
+    if (pb->healthy()) pb->crash("fault injection: dvm lost");
+  }
+}
+
+// The deliberate defect the harness must be able to catch (see ISSUE /
+// docs/correctness.md): a double-booking scheduler modeled as one core
+// claimed behind every placer's back and never released. Retries until a
+// core is free so the leak lands even mid-burst.
+void inject_overcommit(core::Session& session, core::Pilot& pilot,
+                       sim::Time start) {
+  auto leak = std::make_shared<std::function<void()>>();
+  *leak = [&session, &pilot, leak] {
+    const auto range = pilot.allocation();
+    for (platform::NodeId n = range.first; n < range.end(); ++n) {
+      if (session.cluster().node(n).allocate(1, 0)) return;  // leaked
+    }
+    session.engine().in(1.0, [leak] { (*leak)(); });
+  };
+  session.engine().at(start, [leak] { (*leak)(); });
+}
+
+void run_impl(const ScenarioSpec& spec, const RunOptions& opts,
+              RunResult& result) {
+  core::Session session(platform::frontier_spec(), spec.nodes, spec.seed);
+  InvariantMonitor::Options mopts;
+  mopts.coherence_stride = opts.coherence_stride;
+  InvariantMonitor monitor(session, mopts);
+
+  core::PilotManager pmgr(session);
+  core::PilotDescription pd;
+  pd.nodes = spec.nodes;
+  pd.backends = spec.backends;
+  pd.trace_tasks = true;
+  pd.router = spec.router == "adaptive" ? core::RouterPolicy::kAdaptive
+                                        : core::RouterPolicy::kStatic;
+  auto& pilot = pmgr.submit(std::move(pd));
+
+  bool ready = false;
+  bool ready_reported = false;
+  std::string ready_error;
+  pilot.launch([&](bool ok, std::string error) {
+    ready = ok;
+    ready_reported = true;
+    ready_error = std::move(error);
+  });
+  apply_knobs(pilot.agent(), spec);
+
+  const std::uint64_t launch_budget = 100000;
+  while (!ready_reported && session.engine().step()) {
+    if (++result.events > launch_budget) break;
+  }
+  result.ready = ready;
+  if (!ready) {
+    monitor.finish();
+    result.violations = monitor.violations();
+    result.violations.push_back(Violation{
+        "launch", util::cat("pilot never became ready: ", ready_error),
+        session.now()});
+    return;
+  }
+  const sim::Time ready_time = session.now();
+
+  core::TaskManager tmgr(session, pilot.agent());
+  monitor.watch(tmgr);
+  monitor.watch_backends(pilot.agent());
+  tmgr.on_complete([&result](const core::Task& task) {
+    switch (task.state()) {
+      case core::TaskState::kDone:
+        ++result.done;
+        break;
+      case core::TaskState::kFailed:
+        ++result.failed;
+        break;
+      default:
+        ++result.canceled;
+        break;
+    }
+  });
+
+  const auto uids = tmgr.submit(build_workload(spec));
+
+  for (const auto& fault : spec.faults) {
+    if (fault.kind == FaultSpec::Kind::kCrash) {
+      session.engine().at(ready_time + fault.time,
+                          [&pilot, fault] { apply_crash(pilot.agent(), fault); });
+    } else {
+      session.engine().at(ready_time + fault.time, [&tmgr, uids, fault] {
+        if (uids.empty()) return;
+        const auto n = std::min<std::size_t>(
+            uids.size(), static_cast<std::size_t>(std::max(1, fault.count)));
+        const std::size_t stride = uids.size() / n;
+        for (std::size_t i = 0; i < n; ++i) {
+          tmgr.cancel(uids[i * stride]);
+        }
+      });
+    }
+  }
+  if (spec.bug == "overcommit") {
+    inject_overcommit(session, pilot, ready_time + 0.5);
+  } else if (spec.bug != "none") {
+    util::raise("spec: unknown bug injection: ", spec.bug);
+  }
+
+  const std::uint64_t budget =
+      opts.max_events != 0
+          ? opts.max_events
+          : 200000 + 5000ull * static_cast<std::uint64_t>(
+                                   std::max(0, spec.tasks));
+  while (session.engine().step()) {
+    if (++result.events > budget) {
+      result.violations.push_back(Violation{
+          "livelock",
+          util::cat("event budget exhausted after ", result.events,
+                    " events with ", session.engine().pending(),
+                    " still pending"),
+          session.now()});
+      break;
+    }
+  }
+  result.makespan = session.now() - ready_time;
+
+  monitor.finish();
+  for (const auto& v : monitor.violations()) result.violations.push_back(v);
+
+  // Fingerprint: full trace + every task's final record. Bit-identical
+  // across runs of the same spec iff the simulation is deterministic.
+  std::ostringstream os;
+  session.trace().write_csv(os);
+  std::uint64_t h = fnv1a(1469598103934665603ull, os.str());
+  tmgr.for_each_task([&h](const core::Task& task) {
+    h = fnv1a(h, util::cat(task.uid(), "|", core::to_string(task.state()), "|",
+                           task.backend(), "|", task.attempts(), "\n"));
+  });
+  result.fingerprint = h;
+}
+
+}  // namespace
+
+RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
+  RunResult result;
+  try {
+    run_impl(spec, opts, result);
+  } catch (const std::exception& e) {
+    result.violations.push_back(Violation{"exception", e.what(), 0.0});
+  }
+  return result;
+}
+
+RunResult run_with_oracles(const ScenarioSpec& spec, const RunOptions& opts) {
+  RunResult first = run_scenario(spec, opts);
+  const RunResult second = run_scenario(spec, opts);
+  if (first.fingerprint != second.fingerprint ||
+      first.events != second.events) {
+    first.violations.push_back(Violation{
+        "determinism",
+        util::cat("same-seed runs diverged: fingerprint ", first.fingerprint,
+                  " vs ", second.fingerprint, ", events ", first.events,
+                  " vs ", second.events),
+        0.0});
+  }
+  return first;
+}
+
+}  // namespace flotilla::check

@@ -1,0 +1,50 @@
+// Scenario runner: executes one ScenarioSpec end-to-end under the
+// InvariantMonitor and reports what happened.
+//
+// One run = one Session + one Pilot (built from the spec's backend mix) +
+// one TaskManager submitting the spec's workload, with the spec's fault
+// injections scheduled relative to pilot readiness. The run drains the
+// event queue under an event budget (a livelock is itself a violation),
+// audits the end state, and fingerprints the full trace so two runs of the
+// same spec can be compared bit-for-bit (the determinism oracle).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "check/spec.hpp"
+
+namespace flotilla::check {
+
+struct RunOptions {
+  // 0 = derive from the task count; exceeding the budget is a violation.
+  std::uint64_t max_events = 0;
+  // FreeResourceIndex coherence check cadence (0 disables).
+  int coherence_stride = 512;
+};
+
+struct RunResult {
+  bool ready = false;       // pilot reported ready
+  std::uint64_t events = 0;
+  sim::Time makespan = 0.0;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  std::size_t canceled = 0;
+  // FNV-1a over the trace CSV plus every task's final record; identical
+  // across runs of the same spec iff the simulation is deterministic.
+  std::uint64_t fingerprint = 0;
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& opts = {});
+
+// Runs the spec twice and appends a "determinism" violation to the first
+// run's result when the fingerprints diverge.
+RunResult run_with_oracles(const ScenarioSpec& spec,
+                           const RunOptions& opts = {});
+
+}  // namespace flotilla::check

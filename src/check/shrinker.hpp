@@ -1,0 +1,32 @@
+// Greedy scenario shrinker: minimizes a failing ScenarioSpec.
+//
+// Given a spec that fails (by whatever predicate the caller supplies — an
+// invariant violation, a determinism divergence, a crash) the shrinker
+// repeatedly proposes strictly simpler variants and keeps any that still
+// fail, in the reduction order that shrinks debugging effort fastest:
+// fewer tasks, then fewer nodes, then fewer fault injections, then a
+// simpler backend mix, then neutral knobs. The result is the minimal spec
+// the predicate still rejects, ready to paste into
+// `flotilla-fuzz --replay '<spec>'`.
+#pragma once
+
+#include <functional>
+
+#include "check/spec.hpp"
+
+namespace flotilla::check {
+
+struct ShrinkResult {
+  ScenarioSpec spec;    // the smallest still-failing spec found
+  int evaluations = 0;  // predicate invocations spent
+};
+
+using FailurePredicate = std::function<bool(const ScenarioSpec&)>;
+
+// `still_fails` must return true when the candidate still exhibits the
+// failure. `max_evaluations` bounds total predicate calls.
+ShrinkResult shrink(const ScenarioSpec& failing,
+                    const FailurePredicate& still_fails,
+                    int max_evaluations = 200);
+
+}  // namespace flotilla::check

@@ -1,0 +1,65 @@
+// ScenarioSpec: the complete, serializable description of one fuzz run.
+//
+// FoundationDB-style simulation testing rests on one property: a failing
+// run must be reproducible from a short, copy-pasteable artifact. Every
+// knob the generator can turn — cluster size, backend mix, workload shape,
+// scheduler policies, fault injections — lives in this struct, and
+// `to_string()`/`parse()` round-trip it through a single-line
+// `key=value;key=value` string so `flotilla-fuzz --replay '<spec>'`
+// re-executes the exact scenario bit-for-bit (see docs/correctness.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pilot.hpp"
+
+namespace flotilla::check {
+
+// One mid-run fault injection, timed relative to pilot readiness.
+struct FaultSpec {
+  enum class Kind {
+    kCrash,        // crash instance/runtime `index` of backend `backend`
+    kCancelStorm,  // cancel `count` tasks spread across the submitted set
+  };
+
+  Kind kind = Kind::kCrash;
+  double time = 1.0;    // virtual seconds after the pilot reports ready
+  std::string backend;  // kCrash: "flux" | "dragon" | "prrte"
+  int index = 0;        // kCrash: which instance/runtime
+  int count = 0;        // kCancelStorm: how many tasks to cancel
+};
+
+struct ScenarioSpec {
+  std::uint64_t seed = 42;
+  int nodes = 4;
+  std::vector<core::BackendSpec> backends{{"srun"}};
+
+  // Workload shape: "null" | "sleep" | "hetero" | "impeccable".
+  std::string workload = "null";
+  int tasks = 64;
+  double duration = 0.0;   // sleep payload / heterogeneous base duration
+  std::int64_t cores = 1;  // per-task cores (sleep workload)
+  std::int64_t gpus = 0;   // per-task GPUs (sleep workload)
+  double fail_probability = 0.0;
+  int max_retries = 0;
+
+  // Scheduler knobs.
+  std::string router = "static";        // "static" | "adaptive"
+  std::string placement = "first-fit";  // "first-fit"|"best-fit"|"gpu-pack"
+  std::string dragon_queue = "fifo";    // "fifo" | "priority"
+
+  std::vector<FaultSpec> faults;
+
+  // Deliberate defect injection, used to prove the checkers catch real
+  // bugs: "none" | "overcommit" (a model of a double-booking scheduler
+  // that claims cores behind every placer's back and never releases).
+  std::string bug = "none";
+
+  // Single-line `key=value;...` form; parse(to_string(s)) == s.
+  std::string to_string() const;
+  static ScenarioSpec parse(const std::string& text);
+};
+
+}  // namespace flotilla::check

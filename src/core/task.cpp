@@ -72,8 +72,12 @@ void Task::advance(TaskState next, sim::Time now) {
   FLOT_CHECK(valid_transition(state_, next), "task ", uid_,
              ": invalid transition ", to_string(state_), " -> ",
              to_string(next));
+  const TaskState from = state_;
   state_ = next;
   state_times_.emplace(next, now);  // keep the *first* entry time
+  if (transition_hook_ && *transition_hook_) {
+    (*transition_hook_)(*this, from, next);
+  }
 }
 
 bool Task::state_time(TaskState state, sim::Time& out) const {

@@ -4,7 +4,9 @@
 // uniform profiling and failure handling across execution substrates.
 #pragma once
 
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -61,6 +63,13 @@ bool is_final(TaskState state);
 // -> AgentScheduling.
 class Task {
  public:
+  // Observes every state transition, after it was applied. `from` is the
+  // state the task left. Invariant checkers (src/check) subscribe through
+  // TaskManager::on_transition; the hook is shared across tasks, hence the
+  // shared_ptr indirection.
+  using TransitionHook =
+      std::function<void(const Task&, TaskState from, TaskState to)>;
+
   Task(std::string uid, TaskDescription description)
       : uid_(std::move(uid)), description_(std::move(description)) {}
 
@@ -69,6 +78,10 @@ class Task {
 
   TaskState state() const { return state_; }
   void advance(TaskState next, sim::Time now);
+
+  void set_transition_hook(std::shared_ptr<const TransitionHook> hook) {
+    transition_hook_ = std::move(hook);
+  }
 
   // Time of first entry into `state`; returns false if never entered.
   bool state_time(TaskState state, sim::Time& out) const;
@@ -95,6 +108,7 @@ class Task {
  private:
   std::string uid_;
   TaskDescription description_;
+  std::shared_ptr<const TransitionHook> transition_hook_;
   TaskState state_ = TaskState::kNew;
   std::map<TaskState, sim::Time> state_times_;
   std::string backend_;

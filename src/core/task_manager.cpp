@@ -18,6 +18,7 @@ TaskManager::TaskManager(Session& session, Agent& agent)
 std::string TaskManager::submit(TaskDescription description) {
   const std::string uid = session_.ids().next("task");
   auto task = std::make_shared<Task>(uid, std::move(description));
+  if (transition_hook_) task->set_transition_hook(transition_hook_);
   tasks_.emplace(uid, task);
   ++total_submitted_;
   agent_.profiler().submitted(*task);

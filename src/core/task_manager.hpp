@@ -36,6 +36,14 @@ class TaskManager {
     completion_handler_ = std::move(handler);
   }
 
+  // Observes every state transition of every task submitted *after* this
+  // call (installed on the task before its first transition). One hook;
+  // invariant checkers (src/check) fan out internally if they need more.
+  void on_transition(Task::TransitionHook hook) {
+    transition_hook_ =
+        std::make_shared<const Task::TransitionHook>(std::move(hook));
+  }
+
   const Task& task(const std::string& uid) const;
 
   // Requests cancellation (cooperative; see Agent::cancel). Returns false
@@ -60,6 +68,7 @@ class TaskManager {
   sim::RngStream rng_;
   sim::Server intake_;
   std::unordered_map<std::string, std::shared_ptr<Task>> tasks_;
+  std::shared_ptr<const Task::TransitionHook> transition_hook_;
   TaskHandler completion_handler_;
   std::size_t total_submitted_ = 0;
   std::size_t finished_ = 0;

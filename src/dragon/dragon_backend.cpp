@@ -106,6 +106,14 @@ void DragonBackend::crash(const std::string& reason, int instance) {
   runtimes_.at(static_cast<size_t>(instance))->crash(reason);
 }
 
+bool DragonBackend::quiescent() const {
+  if (inflight_ != 0) return false;
+  for (const auto& runtime : runtimes_) {
+    if (runtime->pending() != 0 || runtime->running() != 0) return false;
+  }
+  return true;
+}
+
 bool DragonBackend::healthy() const {
   if (!ready_) return false;
   for (const auto& runtime : runtimes_) {

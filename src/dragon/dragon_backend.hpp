@@ -49,6 +49,8 @@ class DragonBackend : public platform::TaskBackend {
   void shutdown() override;
   bool healthy() const override;
   std::size_t inflight() const override { return inflight_; }
+  // Quiesce includes every runtime's capacity queue and active tasks.
+  bool quiescent() const override;
 
   int partitions() const { return static_cast<int>(runtimes_.size()); }
   Runtime& runtime(int i = 0) { return *runtimes_.at(static_cast<size_t>(i)); }

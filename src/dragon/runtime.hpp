@@ -75,6 +75,11 @@ class Runtime {
     pending_.set_policy(std::move(policy));
   }
 
+  // Swaps the span placer's policy (default rotating first-fit).
+  void set_placement_policy(sched::PlacementPolicyKind kind) {
+    placer_.set_policy(kind);
+  }
+
  private:
   struct Task {
     platform::LaunchRequest request;

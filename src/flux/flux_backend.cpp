@@ -162,6 +162,15 @@ void FluxBackend::crash_instance(int i, const std::string& reason) {
   instances_.at(static_cast<size_t>(i))->crash(reason);
 }
 
+bool FluxBackend::quiescent() const {
+  if (inflight_ != 0) return false;
+  return std::all_of(instances_.begin(), instances_.end(),
+                     [](const auto& inst) {
+                       return inst->queue_depth() == 0 &&
+                              inst->running_jobs() == 0;
+                     });
+}
+
 bool FluxBackend::healthy() const {
   if (shut_down_ || !ready_) return false;
   return std::any_of(instances_.begin(), instances_.end(),

@@ -50,6 +50,8 @@ class FluxBackend : public platform::TaskBackend {
   void shutdown() override;
   bool healthy() const override;
   std::size_t inflight() const override { return inflight_; }
+  // Quiesce includes every instance's pending queue and running jobs.
+  bool quiescent() const override;
 
   int partitions() const { return static_cast<int>(instances_.size()); }
   Instance& instance(int i) { return *instances_.at(static_cast<size_t>(i)); }

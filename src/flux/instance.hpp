@@ -70,6 +70,11 @@ class Instance {
   // Scheduler tuning (white-box test access).
   int backfill_depth = 64;
 
+  // Swaps the fluxion matcher's placement policy (default first-fit).
+  void set_placement_policy(sched::PlacementPolicyKind kind) {
+    placer_.set_policy(kind);
+  }
+
   // When enabled, each job's lifecycle events are appended to a per-job
   // eventlog (Flux's KVS eventlog equivalent) retrievable post mortem.
   // Off by default: paper-scale runs submit hundreds of thousands of jobs.

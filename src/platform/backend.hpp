@@ -93,6 +93,13 @@ class TaskBackend {
 
   // Tasks accepted but not yet finished.
   virtual std::size_t inflight() const = 0;
+
+  // Drain/quiesce probe: true when the backend holds no queued or running
+  // work anywhere inside it — no inflight tasks, no internally queued jobs,
+  // no held placements. At simulation drain every backend must be
+  // quiescent; the invariant checkers (src/check) assert exactly that.
+  // Backends with internal queues override this to include them.
+  virtual bool quiescent() const { return inflight() == 0; }
 };
 
 }  // namespace flotilla::platform

@@ -52,6 +52,9 @@ class DvmBackend : public platform::TaskBackend {
   void shutdown() override;
   bool healthy() const override { return healthy_; }
   std::size_t inflight() const override { return inflight_; }
+  // Quiesce includes the active-task table (the agent holds the
+  // placements, the DVM the spawned processes; both must drain together).
+  bool quiescent() const override { return inflight_ == 0 && active_.empty(); }
 
   sim::Time bootstrap_duration() const { return bootstrap_duration_; }
   std::uint64_t completed() const { return completed_; }

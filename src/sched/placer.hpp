@@ -58,6 +58,14 @@ class Placer {
   const PlacerStats& stats() const { return stats_; }
   PlacementPolicy& policy() { return *policy_; }
 
+  // Swaps the placement policy in place (cursor, index and stats are
+  // kept). White-box knob for ablations and the fuzz harness; the
+  // defaults every backend ships with stay first-fit.
+  void set_policy(PlacementPolicyKind kind) {
+    options_.policy = kind;
+    policy_ = make_placement_policy(kind);
+  }
+
  private:
   platform::Cluster& cluster_;
   platform::NodeRange range_;

@@ -53,6 +53,7 @@ bool Engine::step() {
   now_ = entry.time;
   ++processed_;
   cb();
+  if (post_event_hook_) post_event_hook_();
   return true;
 }
 

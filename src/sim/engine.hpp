@@ -69,6 +69,13 @@ class Engine {
   // Virtual time of the earliest pending event, or kInfiniteTime.
   Time next_event_time() const;
 
+  // Post-event hook: invoked after every processed event's callback
+  // returns, with now() still at the event's time. Single consumer —
+  // invariant monitors (src/check) use it to audit the simulation between
+  // events. Pass an empty callback to clear. Never fires for events that
+  // were cancelled.
+  void set_post_event_hook(Callback hook) { post_event_hook_ = std::move(hook); }
+
  private:
   struct Entry {
     Time time;
@@ -87,6 +94,7 @@ class Engine {
   std::uint64_t processed_ = 0;
   std::size_t live_events_ = 0;
   bool stop_requested_ = false;
+  Callback post_event_hook_;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   std::unordered_map<std::uint64_t, Callback> callbacks_;
 };

@@ -1,5 +1,6 @@
-// Backend contract: parameterized conformance suite run against all three
-// task runtime systems (srun, flux, dragon).
+// Backend contract: parameterized conformance suite run against the task
+// runtime systems (srun, flux, dragon — plus prrte in the full-stack
+// lifecycle suite at the bottom).
 //
 // The RP agent relies on every TaskBackend honoring the same contract
 // (§3.2: "tasks launched via Flux or Dragon continue to pass through RP's
@@ -13,6 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "core/pilot.hpp"
+#include "core/session.hpp"
+#include "core/task_manager.hpp"
 #include "dragon/dragon_backend.hpp"
 #include "flux/flux_backend.hpp"
 #include "platform/backend.hpp"
@@ -317,6 +321,90 @@ TEST(QueueSemantics, DragonHonorsInjectedPriorityPolicy) {
   EXPECT_EQ(starts,
             (std::vector<std::string>{"blocker", "high", "low"}));
 }
+
+// ------------------------------------------- failure/cancel contract
+//
+// The full-stack lifecycle contract, run against all four runtime systems
+// through Session/Pilot/TaskManager: a failing task reaches exactly one
+// terminal state (retries notwithstanding), cancelling an unknown task is
+// a no-op, and double-cancel never double-finalizes.
+
+struct StackHarness {
+  core::Session session{platform::frontier_spec(), 4, 42};
+  core::PilotManager pmgr{session};
+  core::Pilot* pilot = nullptr;
+  std::unique_ptr<core::TaskManager> tmgr;
+
+  explicit StackHarness(const std::string& backend) {
+    core::PilotDescription pd;
+    pd.nodes = 4;
+    pd.backends = {{backend}};
+    pilot = &pmgr.submit(std::move(pd));
+    bool ready = false;
+    pilot->launch([&](bool ok, const std::string&) { ready = ok; });
+    session.run(600.0);
+    EXPECT_TRUE(ready) << backend << " pilot failed to launch";
+    tmgr = std::make_unique<core::TaskManager>(session, pilot->agent());
+  }
+};
+
+class LifecycleContract : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LifecycleContract, FailingTaskReachesExactlyOneTerminalState) {
+  StackHarness harness(GetParam());
+  std::multiset<std::string> completions;
+  harness.tmgr->on_complete(
+      [&](const core::Task& task) { completions.insert(task.uid()); });
+  std::vector<std::string> uids;
+  for (int i = 0; i < 5; ++i) {
+    core::TaskDescription td;
+    td.duration = 1.0;
+    td.fail_probability = 1.0;  // every attempt fails
+    td.max_retries = 1;
+    uids.push_back(harness.tmgr->submit(std::move(td)));
+  }
+  harness.session.run();
+  ASSERT_EQ(completions.size(), 5u);
+  for (const auto& uid : uids) {
+    EXPECT_EQ(completions.count(uid), 1u)
+        << uid << " must finalize exactly once";
+    const auto& task = harness.tmgr->task(uid);
+    EXPECT_EQ(task.state(), core::TaskState::kFailed);
+    EXPECT_EQ(task.attempts(), 2);  // initial attempt + one retry
+  }
+}
+
+TEST_P(LifecycleContract, CancelUnknownTaskIsNoOp) {
+  StackHarness harness(GetParam());
+  int completions = 0;
+  harness.tmgr->on_complete([&](const core::Task&) { ++completions; });
+  EXPECT_FALSE(harness.tmgr->cancel("task.bogus"));
+  harness.session.run();
+  EXPECT_EQ(completions, 0);
+  EXPECT_EQ(harness.tmgr->submitted(), 0u);
+}
+
+TEST_P(LifecycleContract, DoubleCancelIsIdempotent) {
+  StackHarness harness(GetParam());
+  int completions = 0;
+  harness.tmgr->on_complete([&](const core::Task& task) {
+    ++completions;
+    EXPECT_EQ(task.state(), core::TaskState::kCanceled);
+  });
+  core::TaskDescription td;
+  td.duration = 1000.0;
+  const auto uid = harness.tmgr->submit(std::move(td));
+  EXPECT_TRUE(harness.tmgr->cancel(uid));
+  harness.tmgr->cancel(uid);  // second request must not double-finalize
+  harness.session.run();
+  EXPECT_EQ(completions, 1);
+  // Cancelling a task that already reached its terminal state is refused.
+  EXPECT_FALSE(harness.tmgr->cancel(uid));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, LifecycleContract,
+                         ::testing::Values("srun", "flux", "dragon", "prrte"),
+                         [](const auto& param_info) { return param_info.param; });
 
 TEST(QueueSemantics, SrunHasNoServerQueueBlockedClientsPoll) {
   BackendHarness harness("srun");

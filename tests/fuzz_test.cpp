@@ -1,0 +1,217 @@
+// Tests for the simulation fuzzing harness (src/check/): spec round-trip,
+// generator validity/determinism, clean runs over generated scenarios, the
+// invariant checkers catching a deliberately injected over-commit bug, and
+// the shrinker reducing that failure to a minimal replayable spec.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "check/generator.hpp"
+#include "check/invariants.hpp"
+#include "check/runner.hpp"
+#include "check/shrinker.hpp"
+#include "check/spec.hpp"
+#include "sim/random.hpp"
+
+namespace flotilla::check {
+namespace {
+
+bool has_violation(const RunResult& result, const std::string& invariant) {
+  return std::any_of(
+      result.violations.begin(), result.violations.end(),
+      [&](const Violation& v) { return v.invariant == invariant; });
+}
+
+// ------------------------------------------------------------ spec codec
+
+TEST(ScenarioSpec, RoundTripsThroughString) {
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    sim::RngStream rng(seed, "fuzz.generate");
+    const auto spec = generate_scenario(rng);
+    const auto line = spec.to_string();
+    EXPECT_EQ(ScenarioSpec::parse(line).to_string(), line);
+  }
+}
+
+TEST(ScenarioSpec, RoundTripsFaultsAndBugField) {
+  ScenarioSpec spec;
+  spec.seed = 99;
+  spec.nodes = 6;
+  spec.backends = {{.type = "flux", .partitions = 2, .nodes = 3,
+                    .flux_backfill_depth = 8},
+                   {.type = "dragon", .partitions = 1, .nodes = 3}};
+  spec.workload = "hetero";
+  spec.duration = 1.25;
+  spec.fail_probability = 0.125;
+  spec.faults.push_back(
+      {FaultSpec::Kind::kCrash, 12.5, "flux", 1, 0});
+  spec.faults.push_back({FaultSpec::Kind::kCancelStorm, 3.0, "", 0, 7});
+  spec.bug = "overcommit";
+  const auto line = spec.to_string();
+  const auto parsed = ScenarioSpec::parse(line);
+  EXPECT_EQ(parsed.to_string(), line);
+  ASSERT_EQ(parsed.faults.size(), 2u);
+  EXPECT_EQ(parsed.faults[0].kind, FaultSpec::Kind::kCrash);
+  EXPECT_EQ(parsed.faults[0].backend, "flux");
+  EXPECT_EQ(parsed.faults[1].count, 7);
+  EXPECT_EQ(parsed.bug, "overcommit");
+  EXPECT_EQ(parsed.backends[0].flux_backfill_depth, 8);
+}
+
+TEST(ScenarioSpec, ParseRejectsGarbage) {
+  EXPECT_THROW(ScenarioSpec::parse("frobnicate=1"), util::Error);
+  EXPECT_THROW(ScenarioSpec::parse("nodes"), util::Error);
+  EXPECT_THROW(ScenarioSpec::parse("tasks=many"), util::Error);
+  EXPECT_THROW(ScenarioSpec::parse("faults=explode@1:flux:0"), util::Error);
+}
+
+// -------------------------------------------------------------- generator
+
+TEST(Generator, IsDeterministicPerSeed) {
+  for (std::uint64_t seed : {1ull, 17ull, 4242ull}) {
+    sim::RngStream a(seed, "fuzz.generate");
+    sim::RngStream b(seed, "fuzz.generate");
+    EXPECT_EQ(generate_scenario(a).to_string(),
+              generate_scenario(b).to_string());
+  }
+}
+
+TEST(Generator, ProducesValidSpecs) {
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    sim::RngStream rng(seed, "fuzz.generate");
+    const auto spec = generate_scenario(rng);
+    EXPECT_GE(spec.nodes, static_cast<int>(spec.backends.size()));
+    int assigned = 0;
+    for (const auto& b : spec.backends) {
+      EXPECT_GE(b.nodes, 1);
+      EXPECT_GE(b.partitions, 1);
+      EXPECT_LE(b.partitions, b.nodes);
+      assigned += b.nodes;
+    }
+    EXPECT_EQ(assigned, spec.nodes);
+    const auto caps = unit_caps(spec);
+    EXPECT_GE(caps.nodes, 1);
+    // Sleep-workload demands stay within the smallest schedulable unit.
+    EXPECT_LE(spec.cores, caps.cores);
+    EXPECT_LE(spec.gpus, caps.gpus);
+    for (const auto& f : spec.faults) {
+      if (f.kind != FaultSpec::Kind::kCrash) continue;
+      EXPECT_TRUE(f.backend == "flux" || f.backend == "dragon" ||
+                  f.backend == "prrte")
+          << "crash fault targets a backend without a crash surface";
+    }
+  }
+}
+
+// ------------------------------------------------------ transition matrix
+
+TEST(Invariants, TransitionMatrixMatchesLifecycleGraph) {
+  using S = core::TaskState;
+  EXPECT_TRUE(legal_transition(S::kNew, S::kTmgrScheduling));
+  EXPECT_TRUE(legal_transition(S::kTmgrScheduling, S::kStagingInput));
+  EXPECT_TRUE(legal_transition(S::kTmgrScheduling, S::kAgentScheduling));
+  EXPECT_TRUE(legal_transition(S::kExecutorPending, S::kAgentScheduling));
+  EXPECT_TRUE(legal_transition(S::kRunning, S::kAgentScheduling));
+  EXPECT_TRUE(legal_transition(S::kRunning, S::kDone));
+  EXPECT_TRUE(legal_transition(S::kStagingOutput, S::kCanceled));
+  // No skipping forward, no moving backwards, nothing after a terminal.
+  EXPECT_FALSE(legal_transition(S::kNew, S::kRunning));
+  EXPECT_FALSE(legal_transition(S::kTmgrScheduling, S::kExecutorPending));
+  EXPECT_FALSE(legal_transition(S::kAgentScheduling, S::kRunning));
+  EXPECT_FALSE(legal_transition(S::kRunning, S::kNew));
+  EXPECT_FALSE(legal_transition(S::kDone, S::kFailed));
+  EXPECT_FALSE(legal_transition(S::kCanceled, S::kAgentScheduling));
+  EXPECT_FALSE(legal_transition(S::kFailed, S::kDone));
+}
+
+// ----------------------------------------------------------- clean sweeps
+
+TEST(Runner, GeneratedScenariosHoldAllInvariants) {
+  // A miniature of the CI fuzz smoke: every generated scenario must pass
+  // every invariant plus the run-twice determinism oracle.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::RngStream rng(seed, "fuzz.generate");
+    const auto spec = generate_scenario(rng);
+    const auto result = run_with_oracles(spec);
+    EXPECT_TRUE(result.ok()) << "seed " << seed << " spec " << spec.to_string()
+                             << " first violation: "
+                             << result.violations.front().to_string();
+    EXPECT_TRUE(result.ready);
+  }
+}
+
+TEST(Runner, ReplayOfSerializedSpecIsBitIdentical) {
+  sim::RngStream rng(7, "fuzz.generate");
+  const auto spec = generate_scenario(rng);
+  const auto direct = run_scenario(spec);
+  const auto replayed = run_scenario(ScenarioSpec::parse(spec.to_string()));
+  EXPECT_EQ(direct.fingerprint, replayed.fingerprint);
+  EXPECT_EQ(direct.events, replayed.events);
+  EXPECT_EQ(direct.done, replayed.done);
+}
+
+// ------------------------------------- injected bug: caught then shrunk
+
+TEST(Runner, InjectedOvercommitIsCaughtByConservation) {
+  ScenarioSpec spec;
+  spec.seed = 11;
+  spec.nodes = 3;
+  spec.backends = {{"srun"}};
+  spec.workload = "sleep";
+  spec.tasks = 30;
+  spec.duration = 2.0;
+  spec.bug = "overcommit";
+  const auto result = run_scenario(spec);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(has_violation(result, "conservation"))
+      << "the leaked core must surface as a conservation violation";
+  // The same spec without the bug passes — the checkers flag the defect,
+  // not the scenario.
+  spec.bug = "none";
+  EXPECT_TRUE(run_scenario(spec).ok());
+}
+
+TEST(Shrinker, ReducesOvercommitFailureToMinimalReplayableSpec) {
+  sim::RngStream rng(3, "fuzz.generate");
+  auto spec = generate_scenario(rng);
+  spec.bug = "overcommit";  // plant the defect in a busy scenario
+  ASSERT_FALSE(run_scenario(spec).ok());
+
+  const auto shrunk = shrink(
+      spec,
+      [](const ScenarioSpec& candidate) {
+        return !run_scenario(candidate).ok();
+      },
+      400);
+
+  // Still failing, still replayable from its serialized form.
+  const auto replay = ScenarioSpec::parse(shrunk.spec.to_string());
+  const auto result = run_scenario(replay);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(has_violation(result, "conservation"));
+
+  // And actually minimal: the leak needs no tasks, no faults, no second
+  // backend, and no workload payload.
+  EXPECT_EQ(shrunk.spec.tasks, 0);
+  EXPECT_TRUE(shrunk.spec.faults.empty());
+  EXPECT_EQ(shrunk.spec.backends.size(), 1u);
+  EXPECT_EQ(shrunk.spec.workload, "null");
+  EXPECT_EQ(shrunk.spec.bug, "overcommit");  // the defect itself survives
+  EXPECT_LE(shrunk.spec.nodes, 2);
+}
+
+TEST(Shrinker, LeavesPassingSpecsAlone) {
+  sim::RngStream rng(5, "fuzz.generate");
+  const auto spec = generate_scenario(rng);
+  int evaluations = 0;
+  const auto shrunk = shrink(spec, [&evaluations](const ScenarioSpec&) {
+    ++evaluations;
+    return false;  // nothing fails
+  });
+  EXPECT_EQ(shrunk.spec.to_string(), spec.to_string());
+  EXPECT_EQ(shrunk.evaluations, evaluations);
+}
+
+}  // namespace
+}  // namespace flotilla::check

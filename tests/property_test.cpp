@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <tuple>
 #include <vector>
 
 #include "platform/cluster.hpp"
@@ -80,6 +81,84 @@ TEST_P(PlacementProperty, RandomPlaceReleaseKeepsClusterConsistent) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PlacementProperty,
                          ::testing::Range<std::uint64_t>(1, 17));
+
+// Property: the consistency invariants above hold for every placement
+// policy, not just the first-fit reference — any interleaving of policy
+// placements and releases keeps exact demand accounting, never overlaps
+// slices, and drains back to a fully free cluster.
+class PlacementPolicyProperty
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, sched::PlacementPolicyKind>> {};
+
+TEST_P(PlacementPolicyProperty, RandomPlaceReleaseKeepsClusterConsistent) {
+  const auto [seed, kind] = GetParam();
+  sim::RngStream rng(seed);
+  const int nodes = static_cast<int>(rng.uniform_int(1, 32));
+  platform::Cluster cluster(platform::frontier_spec(), nodes);
+  const auto range = cluster.all_nodes();
+  const auto policy = sched::make_placement_policy(kind);
+  sched::FreeResourceIndex index(cluster, range);
+  platform::NodeId cursor = 0;
+  std::vector<platform::Placement> held;
+  std::int64_t held_cores = 0, held_gpus = 0;
+
+  for (int step = 0; step < 500; ++step) {
+    const bool place = held.empty() || rng.bernoulli(0.6);
+    if (place) {
+      platform::ResourceDemand demand;
+      demand.cores = rng.uniform_int(0, 56 * 3);
+      demand.gpus = rng.uniform_int(0, 12);
+      if (rng.bernoulli(0.2)) demand.cores_per_node = 56;  // MPI chunked
+      sched::PlacementInput in{cluster, range, &cursor, &index};
+      auto placement = policy->place(in, demand);
+      if (!placement) continue;
+      ASSERT_EQ(placement->total_cores(), demand.cores);
+      ASSERT_EQ(placement->total_gpus(), demand.gpus);
+      for (const auto& mine : placement->slices) {
+        for (const auto& other : held) {
+          for (const auto& slice : other.slices) {
+            if (slice.node != mine.node) continue;
+            ASSERT_EQ(slice.core_mask & mine.core_mask, 0u);
+            ASSERT_EQ(slice.gpu_mask & mine.gpu_mask, 0);
+          }
+        }
+      }
+      held_cores += placement->total_cores();
+      held_gpus += placement->total_gpus();
+      held.push_back(std::move(*placement));
+    } else {
+      const auto victim = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(held.size()) - 1));
+      held_cores -= held[victim].total_cores();
+      held_gpus -= held[victim].total_gpus();
+      cluster.release(held[victim]);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    ASSERT_EQ(cluster.free_cores(range),
+              static_cast<std::int64_t>(nodes) * 56 - held_cores);
+    ASSERT_EQ(cluster.free_gpus(range),
+              static_cast<std::int64_t>(nodes) * 8 - held_gpus);
+    // The incrementally maintained index tracks ground truth throughout.
+    int truth_max_cores = 0;
+    for (int n = 0; n < nodes; ++n) {
+      truth_max_cores = std::max(truth_max_cores, cluster.node(n).free_cores());
+    }
+    ASSERT_EQ(index.max_free_cores(), truth_max_cores);
+  }
+  for (const auto& placement : held) {
+    cluster.release(placement);
+  }
+  ASSERT_EQ(cluster.free_cores(range), static_cast<std::int64_t>(nodes) * 56);
+  ASSERT_EQ(cluster.free_gpus(range), static_cast<std::int64_t>(nodes) * 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsTimesPolicies, PlacementPolicyProperty,
+    ::testing::Combine(
+        ::testing::Range<std::uint64_t>(1, 9),
+        ::testing::Values(sched::PlacementPolicyKind::kFirstFit,
+                          sched::PlacementPolicyKind::kBestFit,
+                          sched::PlacementPolicyKind::kGpuPack)));
 
 // Property: tightly coupled placement is all-or-nothing — on failure no
 // node loses capacity.

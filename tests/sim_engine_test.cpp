@@ -128,6 +128,66 @@ TEST(Engine, RejectsEmptyCallback) {
   EXPECT_THROW(engine.at(1.0, Engine::Callback{}), util::Error);
 }
 
+TEST(Engine, CancelOfAlreadyFiredEventReturnsFalse) {
+  Engine engine;
+  bool fired = false;
+  const auto id = engine.at(1.0, [&] { fired = true; });
+  engine.run();
+  ASSERT_TRUE(fired);
+  EXPECT_FALSE(engine.cancel(id));  // fired events are not cancellable
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST(Engine, NegativeDelayClampsToNow) {
+  Engine engine;
+  Time fired = -1.0;
+  std::uint64_t fired_seq = 0, later_seq = 0;
+  engine.at(4.0, [&] {
+    engine.in(-2.5, [&] {
+      fired = engine.now();
+      fired_seq = engine.processed();
+    });
+    // A same-time event scheduled after it must also fire after it.
+    engine.in(0.0, [&] { later_seq = engine.processed(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(fired, 4.0);  // clamped, not scheduled in the past
+  EXPECT_LT(fired_seq, later_seq);
+}
+
+TEST(Engine, MixedAtAndInTiesFireInInsertionOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.at(1.0, [&] {
+    engine.at(3.0, [&] { order.push_back(0); });
+    engine.in(2.0, [&] { order.push_back(1); });
+    engine.at(3.0, [&] { order.push_back(2); });
+    engine.in(2.0, [&] { order.push_back(3); });
+  });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Engine, PostEventHookFiresAfterEveryProcessedEvent) {
+  Engine engine;
+  std::vector<Time> hook_times;
+  int events = 0;
+  engine.set_post_event_hook([&] { hook_times.push_back(engine.now()); });
+  engine.at(1.0, [&] { ++events; });
+  const auto cancelled = engine.at(2.0, [&] { ++events; });
+  engine.at(3.0, [&] { ++events; });
+  engine.cancel(cancelled);
+  engine.run();
+  EXPECT_EQ(events, 2);
+  // Once per *processed* event, at that event's time; never for tombstones.
+  EXPECT_EQ(hook_times, (std::vector<Time>{1.0, 3.0}));
+  engine.set_post_event_hook({});  // clearing is accepted
+  engine.at(4.0, [&] { ++events; });
+  engine.run();
+  EXPECT_EQ(events, 3);
+  EXPECT_EQ(hook_times.size(), 2u);
+}
+
 TEST(Engine, DeterministicAcrossRuns) {
   auto trace_of = [] {
     Engine engine;

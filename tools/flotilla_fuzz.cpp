@@ -1,0 +1,132 @@
+// flotilla-fuzz: randomized simulation testing for the Flotilla runtime.
+//
+// Generates seeded scenarios (src/check/generator.hpp), runs each under
+// the invariant monitor plus the determinism oracle (every spec runs
+// twice; traces must match bit-for-bit), and on failure greedily shrinks
+// the scenario to a minimal replayable spec:
+//
+//   flotilla-fuzz --scenarios 500                  # fuzz seeds 1..500
+//   flotilla-fuzz --replay 'seed=7;nodes=2;...'    # re-run one spec
+//
+// Exit codes: 0 = all scenarios clean, 1 = a failure was found (the
+// minimized spec and its replay command are printed, and written to
+// --minimized-out when given), 2 = usage error.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "check/generator.hpp"
+#include "check/runner.hpp"
+#include "check/shrinker.hpp"
+#include "check/spec.hpp"
+#include "sim/random.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using flotilla::check::RunOptions;
+using flotilla::check::RunResult;
+using flotilla::check::ScenarioSpec;
+
+void print_violations(const RunResult& result) {
+  for (const auto& v : result.violations) {
+    std::cout << "  " << v.to_string() << "\n";
+  }
+}
+
+int report_failure(const ScenarioSpec& failing, const RunOptions& opts,
+                   bool no_shrink, const std::string& minimized_out) {
+  ScenarioSpec minimal = failing;
+  if (!no_shrink) {
+    const auto shrunk = flotilla::check::shrink(
+        failing,
+        [&opts](const ScenarioSpec& candidate) {
+          return !flotilla::check::run_with_oracles(candidate, opts).ok();
+        });
+    minimal = shrunk.spec;
+    std::cout << "shrink: " << shrunk.evaluations
+              << " evaluations, minimized spec:\n";
+  } else {
+    std::cout << "failing spec (shrinking disabled):\n";
+  }
+  const auto line = minimal.to_string();
+  std::cout << "  " << line << "\n";
+  std::cout << "minimal-run violations:\n";
+  print_violations(flotilla::check::run_with_oracles(minimal, opts));
+  std::cout << "replay with:\n  flotilla-fuzz --replay '" << line << "'\n";
+  if (!minimized_out.empty()) {
+    std::ofstream out(minimized_out);
+    out << line << "\n";
+    std::cout << "minimized spec written to " << minimized_out << "\n";
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  flotilla::util::CliParser cli(
+      "Randomized invariant fuzzing for the Flotilla simulator "
+      "(see docs/correctness.md).");
+  cli.option("scenarios", "100", "number of scenarios to generate and run")
+      .option("seed-base", "1", "seed of the first scenario (then +1 each)")
+      .option("replay", "", "run exactly one serialized scenario spec")
+      .option("minimized-out", "",
+              "file to write the minimized failing spec to")
+      .option("max-events", "0", "per-run event budget (0 = automatic)")
+      .flag("no-shrink", "report the original failing spec unminimized")
+      .flag("verbose", "print every scenario spec before running it");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    RunOptions opts;
+    opts.max_events =
+        static_cast<std::uint64_t>(std::max(0L, cli.get_int("max-events")));
+    const bool no_shrink = cli.get_flag("no-shrink");
+    const bool verbose = cli.get_flag("verbose");
+    const std::string minimized_out = cli.get("minimized-out");
+
+    if (!cli.get("replay").empty()) {
+      const auto spec = ScenarioSpec::parse(cli.get("replay"));
+      const auto result = flotilla::check::run_with_oracles(spec, opts);
+      std::cout << "replay: " << spec.to_string() << "\n";
+      std::cout << "events=" << result.events << " done=" << result.done
+                << " failed=" << result.failed
+                << " canceled=" << result.canceled
+                << " fingerprint=" << result.fingerprint << "\n";
+      if (!result.ok()) {
+        std::cout << "violations:\n";
+        print_violations(result);
+        return 1;
+      }
+      std::cout << "all invariants held\n";
+      return 0;
+    }
+
+    const long scenarios = cli.get_int("scenarios");
+    const long seed_base = cli.get_int("seed-base");
+    for (long i = 0; i < scenarios; ++i) {
+      flotilla::sim::RngStream rng(
+          static_cast<std::uint64_t>(seed_base + i), "fuzz.generate");
+      const auto spec = flotilla::check::generate_scenario(rng);
+      if (verbose) {
+        std::cout << "[" << (i + 1) << "/" << scenarios << "] "
+                  << spec.to_string() << "\n";
+      }
+      const auto result = flotilla::check::run_with_oracles(spec, opts);
+      if (!result.ok()) {
+        std::cout << "scenario " << (seed_base + i) << " FAILED:\n";
+        print_violations(result);
+        return report_failure(spec, opts, no_shrink, minimized_out);
+      }
+    }
+    std::cout << scenarios << " scenarios, all invariants held\n";
+    return 0;
+  } catch (const flotilla::util::Error& e) {
+    std::cerr << "error: " << e.what() << "\n" << cli.usage();
+    return 2;
+  }
+}
