@@ -12,6 +12,8 @@
 #include "dragon/dragon_backend.hpp"
 #include "flux/flux_backend.hpp"
 #include "harness.hpp"
+#include "obs/report.hpp"
+#include "obs/tracer.hpp"
 
 using namespace flotilla;
 using namespace flotilla::bench;
@@ -25,29 +27,33 @@ struct BootResult {
   double per_instance = 0.0;
 };
 
+// Per-instance overhead comes out of the trace (obs::OverheadReport), not
+// the backend's own accounting: the CSV is derived from the same bootstrap
+// spans a --trace timeline shows, so figure and trace cannot disagree.
 BootResult boot_flux(int nodes, int instances) {
   sim::Engine engine;
   platform::Cluster cluster(platform::frontier_spec(), nodes);
+  obs::Tracer tracer(engine);
   flux::FluxBackend backend(engine, cluster, {0, nodes}, instances,
                             platform::frontier_calibration().flux, 42);
+  backend.set_trace(obs::TraceHandle(&tracer));
   backend.bootstrap([](bool, const std::string&) {});
   engine.run();
-  BootResult result;
-  result.wall = engine.now();
-  double sum = 0;
-  for (const auto d : backend.bootstrap_durations()) sum += d;
-  result.per_instance = sum / instances;
-  return result;
+  const auto report = obs::OverheadReport::from_trace(tracer);
+  return {engine.now(), report.backend_launch_overhead("flux")};
 }
 
 BootResult boot_dragon(int nodes) {
   sim::Engine engine;
   platform::Cluster cluster(platform::frontier_spec(), nodes);
+  obs::Tracer tracer(engine);
   dragon::DragonBackend backend(engine, cluster, {0, nodes},
                                 platform::frontier_calibration().dragon, 42);
+  backend.set_trace(obs::TraceHandle(&tracer));
   backend.bootstrap([](bool, const std::string&) {});
   engine.run();
-  return {engine.now(), backend.bootstrap_duration()};
+  const auto report = obs::OverheadReport::from_trace(tracer);
+  return {engine.now(), report.backend_launch_overhead("dragon")};
 }
 
 }  // namespace

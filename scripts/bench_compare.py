@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a bench snapshot against the baseline.
+
+    scripts/bench_compare.py BENCH_baseline.json BENCH_sched.json \
+        [--tolerance 0.25] [--summary $GITHUB_STEP_SUMMARY]
+
+Gated metrics (from scripts/bench_snapshot.sh) carry a direction: a
+throughput metric regresses when it *drops* more than the tolerance below
+the baseline, a cost metric when it *rises* more than the tolerance above
+it. Improvements never fail the gate. Wall-clock canaries
+(bench_*_wall_s) are reported but not gated — they track the runner, not
+the code, and runner classes differ too much for a checked-in baseline.
+
+Prints a delta table (markdown when --summary is given, aligned text
+otherwise) and exits 1 on any regression. Re-baseline by running
+scripts/bench_snapshot.sh on the CI runner class and committing the
+output as BENCH_baseline.json (docs/observability.md).
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import sys
+
+# metric -> direction; "higher" = throughput-like, "lower" = cost-like,
+# None = informational only (never gated).
+METRICS = {
+    "placement_attempts_per_sec_linear": "higher",
+    "placement_attempts_per_sec_indexed": "higher",
+    "placement_speedup": "higher",
+    "events_per_sec": "higher",
+    "makespan_s": "lower",
+    "bench_throughput_wall_s": None,
+    "bench_impeccable_wall_s": None,
+}
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def evaluate(baseline, current, tolerance):
+    """Returns (rows, regressions). Each row is a dict for the table."""
+    rows = []
+    regressions = []
+    for metric, direction in METRICS.items():
+        if metric not in baseline or metric not in current:
+            continue
+        base = float(baseline[metric])
+        cur = float(current[metric])
+        delta = (cur - base) / base if base != 0 else 0.0
+        if direction == "higher":
+            regressed = cur < base * (1.0 - tolerance)
+        elif direction == "lower":
+            regressed = cur > base * (1.0 + tolerance)
+        else:
+            regressed = False
+        if direction is None:
+            status = "info"
+        elif regressed:
+            status = "REGRESSED"
+        else:
+            status = "ok"
+        rows.append(
+            {
+                "metric": metric,
+                "baseline": base,
+                "current": cur,
+                "delta": delta,
+                "status": status,
+            }
+        )
+        if regressed:
+            regressions.append(metric)
+    return rows, regressions
+
+
+def fmt_value(value):
+    return f"{value:.3f}" if abs(value) < 1000 else f"{value:.0f}"
+
+
+def render(rows, tolerance, markdown):
+    lines = []
+    if markdown:
+        lines.append("### Bench gate (tolerance ±{:.0%})".format(tolerance))
+        lines.append("")
+        lines.append("| metric | baseline | current | delta | status |")
+        lines.append("|---|---:|---:|---:|---|")
+        for r in rows:
+            lines.append(
+                "| {metric} | {base} | {cur} | {delta:+.1%} | {status} |".format(
+                    metric=r["metric"],
+                    base=fmt_value(r["baseline"]),
+                    cur=fmt_value(r["current"]),
+                    delta=r["delta"],
+                    status=r["status"],
+                )
+            )
+    else:
+        width = max(len(r["metric"]) for r in rows) if rows else 10
+        lines.append(
+            f"bench gate (tolerance +/-{tolerance:.0%}); wall-clock rows informational"
+        )
+        for r in rows:
+            lines.append(
+                "  {metric:<{width}}  base={base:>12}  cur={cur:>12}  "
+                "{delta:+7.1%}  {status}".format(
+                    metric=r["metric"],
+                    width=width,
+                    base=fmt_value(r["baseline"]),
+                    cur=fmt_value(r["current"]),
+                    delta=r["delta"],
+                    status=r["status"],
+                )
+            )
+    return "\n".join(lines) + "\n"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_baseline.json")
+    parser.add_argument("current", help="freshly measured snapshot json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative tolerance band (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--summary",
+        default="",
+        help="append a markdown delta table to this file "
+        "(e.g. $GITHUB_STEP_SUMMARY)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    if baseline.get("quick") != current.get("quick"):
+        print(
+            "bench_compare: baseline and current ran in different modes "
+            f"(quick={baseline.get('quick')} vs {current.get('quick')}); "
+            "re-baseline with the same mode",
+            file=sys.stderr,
+        )
+        return 2
+
+    rows, regressions = evaluate(baseline, current, args.tolerance)
+    if not rows:
+        print("bench_compare: no shared metrics to compare", file=sys.stderr)
+        return 2
+
+    print(render(rows, args.tolerance, markdown=False), end="")
+    if args.summary:
+        with open(args.summary, "a") as f:
+            f.write(render(rows, args.tolerance, markdown=True))
+
+    if regressions:
+        print(
+            "bench_compare: REGRESSION in: " + ", ".join(regressions),
+            file=sys.stderr,
+        )
+        return 1
+    print("bench_compare: all gated metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

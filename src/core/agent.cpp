@@ -12,6 +12,7 @@ Agent::Agent(Session& session, platform::NodeRange allocation,
     : session_(session),
       allocation_(allocation),
       router_policy_(router),
+      obs_trace_(session.trace_handle()),
       profiler_(session, trace_tasks),
       rng_(session.seed(), "agent"),
       scheduler_(session.engine(), 1),
@@ -33,6 +34,15 @@ void Agent::add_backend(std::unique_ptr<platform::TaskBackend> backend,
     // backend's span.
     slot.placer = std::make_unique<sched::Placer>(session_.cluster(),
                                                   slot.backend->span());
+  }
+  if (obs_trace_) {
+    slot.backend->set_trace(obs_trace_);
+    const auto& name = slot.backend->name();
+    if (slot.placer) {
+      slot.placer->set_trace(obs_trace_, util::cat("agent.", name));
+    }
+    slot.waitlist.set_trace(obs_trace_,
+                            util::cat("agent.", name, ".waitlist"));
   }
   slot.backend->on_task_start(
       [this](const std::string& uid) { handle_start(uid); });
@@ -105,8 +115,11 @@ void Agent::execute(std::shared_ptr<Task> task) {
     task->advance(TaskState::kStagingInput, session_.now());
     profiler_.state_change(*task);
     const double mb = task->description().input_mb;
+    obs_trace_.begin(obs::SpanType::kTaskStageIn, "agent", task->uid(), mb);
     stager_in_.submit(staging_time(mb),
                       [this, task = std::move(task)]() mutable {
+                        obs_trace_.end(obs::SpanType::kTaskStageIn, "agent",
+                                       task->uid());
                         task->advance(TaskState::kAgentScheduling,
                                       session_.now());
                         profiler_.state_change(*task);
@@ -121,6 +134,7 @@ void Agent::execute(std::shared_ptr<Task> task) {
 
 void Agent::enter_scheduling(std::shared_ptr<Task> task) {
   const auto& cal = session_.calibration().core;
+  obs_trace_.begin(obs::SpanType::kTaskSchedule, "agent", task->uid());
   scheduler_.submit(
       rng_.lognormal_mean_cv(cal.agent_sched_cost, cal.jitter_cv),
       [this, task = std::move(task)]() mutable { schedule(std::move(task)); });
@@ -174,6 +188,7 @@ bool Agent::cancel(const std::string& uid) {
 }
 
 void Agent::schedule(std::shared_ptr<Task> task) {
+  obs_trace_.end(obs::SpanType::kTaskSchedule, "agent", task->uid());
   if (shut_down_ || task->cancel_requested()) {
     task->set_error(shut_down_ ? "agent shut down" : "canceled by user");
     finalize(std::move(task), TaskState::kCanceled);
@@ -192,6 +207,11 @@ void Agent::schedule(std::shared_ptr<Task> task) {
                         ")"));
     finalize(std::move(task), TaskState::kFailed);
     return;
+  }
+  if (obs_trace_) {
+    obs_trace_.instant(
+        obs::SpanType::kRouting, "agent", task->uid(),
+        static_cast<double>(slot - backends_.data()));
   }
   task->advance(TaskState::kExecutorPending, session_.now());
   profiler_.state_change(*task);
@@ -232,6 +252,8 @@ void Agent::submit_to(BackendSlot& slot, std::shared_ptr<Task> task) {
         request.gang = task->description().gang;
         request.gang_size = task->description().gang_size;
         request.priority = task->description().priority;
+        obs_trace_.begin(obs::SpanType::kTaskLaunch,
+                         slot_ptr->backend->name(), task->uid());
         slot_ptr->backend->submit(std::move(request));
       });
 }
@@ -256,6 +278,8 @@ bool Agent::place_and_launch(BackendSlot& slot, std::shared_ptr<Task> task) {
   request.placement = *placement;
   request.preplaced = true;
   slot.held.emplace(task->uid(), std::move(*placement));
+  obs_trace_.begin(obs::SpanType::kTaskLaunch, slot.backend->name(),
+                   task->uid());
   slot.backend->submit(std::move(request));
   return true;
 }
@@ -299,6 +323,8 @@ void Agent::drain_waitlist(BackendSlot& slot) {
     request.placement = *placement;
     request.preplaced = true;
     slot.held.emplace(task->uid(), std::move(*placement));
+    obs_trace_.begin(obs::SpanType::kTaskLaunch, slot.backend->name(),
+                     task->uid());
     slot.backend->submit(std::move(request));
     i = 0;
   }
@@ -308,6 +334,9 @@ void Agent::handle_start(const std::string& uid) {
   const auto it = tasks_.find(uid);
   if (it == tasks_.end()) return;  // canceled meanwhile
   auto& task = it->second;
+  obs_trace_.end(obs::SpanType::kTaskLaunch, task->backend(), uid);
+  obs_trace_.begin(obs::SpanType::kTaskRun, task->backend(), uid,
+                   static_cast<double>(task->description().demand.cores));
   task->advance(TaskState::kRunning, session_.now());
   task->mark_launched();
   profiler_.launched(*task);
@@ -319,6 +348,14 @@ void Agent::handle_completion(const platform::LaunchOutcome& outcome) {
   const auto it = tasks_.find(outcome.id);
   if (it == tasks_.end()) return;
   auto task = it->second;
+  if (obs_trace_) {
+    // A launched attempt closes its run span; one that never started
+    // (backend rejected/crashed pre-start) closes its launch span instead.
+    obs_trace_.end(task->launched() ? obs::SpanType::kTaskRun
+                                    : obs::SpanType::kTaskLaunch,
+                   task->backend(), task->uid(), outcome.success ? 1.0 : 0.0);
+    obs_trace_.begin(obs::SpanType::kTaskCollect, "agent", task->uid());
+  }
   // Resources the agent placed for an externally scheduled backend are
   // returned the moment the backend reports completion.
   if (BackendSlot* slot = slot_of(task->backend())) {
@@ -340,6 +377,7 @@ void Agent::handle_completion(const platform::LaunchOutcome& outcome) {
       rng_.lognormal_mean_cv(cal.collect_cost, cal.jitter_cv),
       [this, task = std::move(task), success,
        error = std::move(error)]() mutable {
+        obs_trace_.end(obs::SpanType::kTaskCollect, "agent", task->uid());
         if (task->launched()) {
           profiler_.attempt_ended(*task);
         }
@@ -353,8 +391,12 @@ void Agent::handle_completion(const platform::LaunchOutcome& outcome) {
             task->advance(TaskState::kStagingOutput, session_.now());
             profiler_.state_change(*task);
             const double mb = task->description().output_mb;
+            obs_trace_.begin(obs::SpanType::kTaskStageOut, "agent",
+                             task->uid(), mb);
             stager_out_.submit(staging_time(mb),
                                [this, task = std::move(task)]() mutable {
+                                 obs_trace_.end(obs::SpanType::kTaskStageOut,
+                                                "agent", task->uid());
                                  finalize(std::move(task), TaskState::kDone);
                                });
             return;
@@ -396,6 +438,8 @@ void Agent::finalize(std::shared_ptr<Task> task, TaskState state) {
   profiler_.finalized(*task, state == TaskState::kDone);
   if (final_handler_) final_handler_(*task);
   for (const auto& listener : final_listeners_) listener(*task);
+  obs_trace_.instant(obs::SpanType::kStateCallback, "agent", task->uid(),
+                     static_cast<double>(state));
 }
 
 platform::TaskBackend* Agent::backend(const std::string& name) {

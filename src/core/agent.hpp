@@ -132,6 +132,7 @@ class Agent {
   Session& session_;
   platform::NodeRange allocation_;
   RouterPolicy router_policy_;
+  obs::TraceHandle obs_trace_;
   Profiler profiler_;
   sim::RngStream rng_;
   sim::Server scheduler_;   // agent scheduler component

@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/tracer.hpp"
 #include "platform/calibration.hpp"
 #include "platform/cluster.hpp"
 #include "sim/engine.hpp"
@@ -32,6 +33,15 @@ class Session {
   const platform::Calibration& calibration() const { return calibration_; }
   sim::Trace& trace() { return trace_; }
   util::IdRegistry& ids() { return ids_; }
+
+  // Structured tracing (src/obs). Off by default — paper-scale runs
+  // launch hundreds of thousands of tasks. Enable *before* constructing
+  // pilots/task managers: components capture their TraceHandle at
+  // construction. The handle is null (all record calls no-ops) until then.
+  obs::Tracer& enable_tracing(
+      std::size_t capacity = obs::Tracer::kDefaultCapacity);
+  obs::Tracer* tracer() { return tracer_.get(); }
+  obs::TraceHandle trace_handle() { return obs::TraceHandle(tracer_.get()); }
   std::uint64_t seed() const { return seed_; }
   const std::string& uid() const { return uid_; }
 
@@ -44,6 +54,7 @@ class Session {
   platform::Cluster cluster_;
   platform::Calibration calibration_;
   sim::Trace trace_;
+  std::unique_ptr<obs::Tracer> tracer_;
   util::IdRegistry ids_;
   std::uint64_t seed_;
   std::string uid_;

@@ -8,7 +8,8 @@ TaskManager::TaskManager(Session& session, Agent& agent)
     : session_(session),
       agent_(agent),
       rng_(session.seed(), "tmgr"),
-      intake_(session.engine(), 1) {
+      intake_(session.engine(), 1),
+      obs_trace_(session.trace_handle()) {
   agent_.on_task_final([this](const Task& task) {
     ++finished_;
     if (completion_handler_) completion_handler_(task);
@@ -24,8 +25,12 @@ std::string TaskManager::submit(TaskDescription description) {
   agent_.profiler().submitted(*task);
   const auto& cal = session_.calibration().core;
   task->advance(TaskState::kTmgrScheduling, session_.now());
+  obs_trace_.begin(obs::SpanType::kTaskSubmit, "tmgr", uid,
+                   static_cast<double>(task->description().demand.cores));
   intake_.submit(rng_.lognormal_mean_cv(cal.tmgr_task_cost, cal.jitter_cv),
                  [this, task = std::move(task)]() mutable {
+                   obs_trace_.end(obs::SpanType::kTaskSubmit, "tmgr",
+                                  task->uid());
                    agent_.execute(std::move(task));
                  });
   return uid;

@@ -67,6 +67,7 @@ class TaskManager {
   Agent& agent_;
   sim::RngStream rng_;
   sim::Server intake_;
+  obs::TraceHandle obs_trace_;
   std::unordered_map<std::string, std::shared_ptr<Task>> tasks_;
   std::shared_ptr<const Task::TransitionHook> transition_hook_;
   TaskHandler completion_handler_;

@@ -68,6 +68,16 @@ class DragonBackend : public platform::TaskBackend {
     return runtimes_.front()->bootstrap_duration();
   }
 
+  // Forwards the tracer to every runtime. A single runtime traces as
+  // "dragon"; partitioned runtimes trace as "dragon.0", "dragon.1", ...
+  void set_trace(obs::TraceHandle handle) override {
+    for (std::size_t i = 0; i < runtimes_.size(); ++i) {
+      runtimes_[i]->set_trace(
+          handle, runtimes_.size() == 1 ? name_
+                                        : name_ + "." + std::to_string(i));
+    }
+  }
+
  private:
   int pick_runtime(const platform::ResourceDemand& demand) const;
   void fail_task(const std::string& id, const std::string& error);

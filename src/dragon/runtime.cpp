@@ -26,6 +26,10 @@ void Runtime::bootstrap(std::function<void()> ready) {
   FLOT_CHECK(!bootstrap_started_, "dragon runtime bootstrapped twice");
   bootstrap_started_ = true;
   bootstrap_requested_ = engine_.now();
+  // A hung bootstrap (fail_silently) leaves the span open on purpose: the
+  // trace shows a bootstrap that never completed.
+  obs_trace_.begin(obs::SpanType::kBootstrap, trace_component_, "",
+                   static_cast<double>(span_.count));
   if (fail_silently) return;  // never comes up; RP's timeout must fire
   const double duration = rng_.lognormal_mean_cv(
       cal_.bootstrap_base + cal_.bootstrap_per_node * span_.count,
@@ -33,6 +37,7 @@ void Runtime::bootstrap(std::function<void()> ready) {
   engine_.in(duration, [this, ready = std::move(ready)] {
     ready_ = true;
     bootstrap_duration_ = engine_.now() - bootstrap_requested_;
+    obs_trace_.end(obs::SpanType::kBootstrap, trace_component_, "");
     if (ready) ready();
   });
 }

@@ -21,6 +21,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/tracer.hpp"
 #include "platform/backend.hpp"
 #include "platform/calibration.hpp"
 #include "platform/cluster.hpp"
@@ -80,6 +81,15 @@ class Runtime {
     placer_.set_policy(kind);
   }
 
+  // Attaches structured tracing under `component` (e.g. "dragon.0"):
+  // bootstrap span, capacity-queue waits, placement attempts.
+  void set_trace(obs::TraceHandle handle, std::string component) {
+    obs_trace_ = handle;
+    trace_component_ = std::move(component);
+    pending_.set_trace(handle, trace_component_);
+    placer_.set_trace(handle, trace_component_);
+  }
+
  private:
   struct Task {
     platform::LaunchRequest request;
@@ -107,6 +117,8 @@ class Runtime {
   std::unordered_map<std::string, std::shared_ptr<Task>> active_;
   sched::Placer placer_;  // rotating indexed first-fit over the span
   EventHandler event_handler_;
+  obs::TraceHandle obs_trace_;
+  std::string trace_component_ = "dragon";
   bool ready_ = false;
   bool bootstrap_started_ = false;
   bool healthy_ = true;

@@ -64,6 +64,12 @@ class FluxBackend : public platform::TaskBackend {
   // Per-instance bootstrap durations, available once ready (Fig 7).
   std::vector<sim::Time> bootstrap_durations() const;
 
+  // Forwards the tracer to every instance (bootstrap spans, queue waits,
+  // placement attempts per partition).
+  void set_trace(obs::TraceHandle handle) override {
+    for (auto& instance : instances_) instance->set_trace(handle);
+  }
+
  private:
   void handle_event(int instance_index, const JobEvent& event);
   int pick_instance(const platform::ResourceDemand& demand,

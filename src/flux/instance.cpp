@@ -37,12 +37,15 @@ void Instance::bootstrap(std::function<void()> ready) {
              " bootstrapped twice");
   bootstrap_started_ = true;
   bootstrap_requested_ = engine_.now();
+  obs_trace_.begin(obs::SpanType::kBootstrap, name_, "",
+                   static_cast<double>(partition_.count));
   const double duration = rng_.lognormal_mean_cv(
       cal_.bootstrap_base + cal_.bootstrap_per_node * partition_.count,
       cal_.jitter_cv / 2);
   engine_.in(duration, [this, ready = std::move(ready)] {
     ready_ = true;
     bootstrap_duration_ = engine_.now() - bootstrap_requested_;
+    obs_trace_.end(obs::SpanType::kBootstrap, name_, "");
     if (ready) ready();
   });
 }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "flux/job.hpp"
+#include "obs/tracer.hpp"
 #include "platform/calibration.hpp"
 #include "platform/cluster.hpp"
 #include "sched/placer.hpp"
@@ -75,6 +76,15 @@ class Instance {
     placer_.set_policy(kind);
   }
 
+  // Attaches structured tracing (src/obs): bootstrap span, pending-queue
+  // wait spans and placement-attempt instants, all under this instance's
+  // name as the component.
+  void set_trace(obs::TraceHandle handle) {
+    obs_trace_ = handle;
+    pending_.set_trace(handle, name_);
+    placer_.set_trace(handle, name_);
+  }
+
   // When enabled, each job's lifecycle events are appended to a per-job
   // eventlog (Flux's KVS eventlog equivalent) retrievable post mortem.
   // Off by default: paper-scale runs submit hundreds of thousands of jobs.
@@ -113,6 +123,7 @@ class Instance {
   std::unordered_map<std::string, std::shared_ptr<Job>> active_;
   std::unordered_map<std::string, Eventlog> eventlogs_;
   EventHandler event_handler_;
+  obs::TraceHandle obs_trace_;
   bool ready_ = false;
   bool bootstrap_started_ = false;
   bool healthy_ = true;

@@ -1,0 +1,87 @@
+#include "obs/report.hpp"
+
+#include <ostream>
+#include <tuple>
+#include <vector>
+
+namespace flotilla::obs {
+
+OverheadReport OverheadReport::from_trace(const Tracer& tracer) {
+  OverheadReport report;
+  // (type, component, entity) -> stack of begin times.
+  std::map<std::tuple<SpanType, std::string, std::string>,
+           std::vector<sim::Time>>
+      open;
+  tracer.for_each([&](const Record& r) {
+    if (r.kind == RecordKind::kBegin) {
+      open[{r.type, r.component, r.entity}].push_back(r.time);
+      return;
+    }
+    if (r.kind != RecordKind::kEnd) return;
+    auto it = open.find({r.type, r.component, r.entity});
+    if (it == open.end() || it->second.empty()) {
+      ++report.unmatched_ends_;
+      return;
+    }
+    const sim::Time begin = it->second.back();
+    it->second.pop_back();
+    report.cells_[{r.type, r.component}].add(r.time - begin);
+  });
+  for (const auto& [key, stack] : open) {
+    report.unclosed_begins_ += stack.size();
+  }
+  return report;
+}
+
+SpanStats OverheadReport::stats(SpanType type,
+                                const std::string& component) const {
+  const auto it = cells_.find({type, component});
+  return it == cells_.end() ? SpanStats{} : it->second;
+}
+
+SpanStats OverheadReport::aggregate(SpanType type) const {
+  SpanStats out;
+  for (const auto& [key, cell] : cells_) {
+    if (key.first != type || cell.count == 0) continue;
+    if (out.count == 0 || cell.min < out.min) out.min = cell.min;
+    if (out.count == 0 || cell.max > out.max) out.max = cell.max;
+    out.count += cell.count;
+    out.total += cell.total;
+  }
+  return out;
+}
+
+SpanStats OverheadReport::aggregate_prefix(
+    SpanType type, const std::string& component_prefix) const {
+  SpanStats out;
+  for (const auto& [key, cell] : cells_) {
+    if (key.first != type || cell.count == 0) continue;
+    if (key.second.compare(0, component_prefix.size(), component_prefix) !=
+        0) {
+      continue;
+    }
+    if (out.count == 0 || cell.min < out.min) out.min = cell.min;
+    if (out.count == 0 || cell.max > out.max) out.max = cell.max;
+    out.count += cell.count;
+    out.total += cell.total;
+  }
+  return out;
+}
+
+void OverheadReport::print(std::ostream& os) const {
+  os << "=== overhead report (per span type x component) ===\n";
+  for (const auto& [key, cell] : cells_) {
+    os << "  " << to_string(key.first) << " @ " << key.second
+       << ": n=" << cell.count << " total=" << cell.total
+       << "s mean=" << cell.mean() << "s min=" << cell.min
+       << "s max=" << cell.max << "s\n";
+  }
+  os << "  fig7: scheduler_wait=" << scheduler_wait_total()
+     << "s rp_core=" << rp_core_total() << "s\n";
+  if (unmatched_ends_ + unclosed_begins_ > 0) {
+    os << "  (unmatched ends: " << unmatched_ends_
+       << ", unclosed begins: " << unclosed_begins_ << ")\n";
+  }
+}
+
+}  // namespace flotilla::obs

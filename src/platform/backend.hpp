@@ -8,6 +8,7 @@
 #include <functional>
 #include <string>
 
+#include "obs/tracer.hpp"
 #include "platform/placement.hpp"
 #include "platform/types.hpp"
 #include "sim/engine.hpp"
@@ -100,6 +101,11 @@ class TaskBackend {
   // quiescent; the invariant checkers (src/check) assert exactly that.
   // Backends with internal queues override this to include them.
   virtual bool quiescent() const { return inflight() == 0; }
+
+  // Attaches the structured tracer (src/obs). Called before bootstrap;
+  // backends propagate the handle to their instances, placers and queues.
+  // The default keeps untraced backends untouched.
+  virtual void set_trace(obs::TraceHandle) {}
 };
 
 }  // namespace flotilla::platform

@@ -32,6 +32,8 @@ DvmBackend::~DvmBackend() = default;
 void DvmBackend::bootstrap(ReadyHandler ready) {
   FLOT_CHECK(!ready_, "dvm bootstrapped twice");
   bootstrap_requested_ = engine_.now();
+  obs_trace_.begin(obs::SpanType::kBootstrap, name_, "",
+                   static_cast<double>(span_.count));
   // DVM startup: the prte daemons wire up once; afterwards per-task launch
   // is cheap (the DVM's whole point).
   const double duration = rng_.lognormal_mean_cv(
@@ -41,6 +43,7 @@ void DvmBackend::bootstrap(ReadyHandler ready) {
     ready_ = true;
     healthy_ = true;
     bootstrap_duration_ = engine_.now() - bootstrap_requested_;
+    obs_trace_.end(obs::SpanType::kBootstrap, name_, "");
     ready(true, "");
   });
 }

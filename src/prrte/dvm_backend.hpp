@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/tracer.hpp"
 #include "platform/backend.hpp"
 #include "platform/calibration.hpp"
 #include "platform/cluster.hpp"
@@ -62,6 +63,10 @@ class DvmBackend : public platform::TaskBackend {
   // Fault injection: the DVM head daemon dies.
   void crash(const std::string& reason = "dvm lost");
 
+  // Attaches structured tracing: the DVM wireup bootstrap span. Placement
+  // is traced agent-side (self_scheduling() == false).
+  void set_trace(obs::TraceHandle handle) override { obs_trace_ = handle; }
+
  private:
   struct Task;
   void launch(std::shared_ptr<Task> task);
@@ -75,6 +80,7 @@ class DvmBackend : public platform::TaskBackend {
   sim::Server head_;  // head daemon: serialized spawn-request handling
   std::vector<std::unique_ptr<sim::Server>> daemons_;  // per-node prted
   std::unordered_map<std::string, std::shared_ptr<Task>> active_;
+  obs::TraceHandle obs_trace_;
   std::string name_ = "prrte";
   bool ready_ = false;
   bool healthy_ = false;

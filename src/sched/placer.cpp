@@ -27,6 +27,8 @@ std::optional<platform::Placement> Placer::place(
                     index_.get()};
   auto placement = policy_->place(in, demand);
   placement ? ++stats_.placed : ++stats_.rejected;
+  trace_.instant(obs::SpanType::kPlacementAttempt, trace_component_, "",
+                 placement ? 1.0 : 0.0);
   return placement;
 }
 

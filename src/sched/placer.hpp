@@ -11,7 +11,9 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 
+#include "obs/tracer.hpp"
 #include "platform/cluster.hpp"
 #include "platform/placement.hpp"
 #include "sched/free_index.hpp"
@@ -66,6 +68,14 @@ class Placer {
     policy_ = make_placement_policy(kind);
   }
 
+  // Attaches structured tracing: every place() call records a
+  // kPlacementAttempt instant under `component` (value: 1 placed,
+  // 0 rejected), which OverheadReport turns into attempt counts.
+  void set_trace(obs::TraceHandle handle, std::string component) {
+    trace_ = handle;
+    trace_component_ = std::move(component);
+  }
+
  private:
   platform::Cluster& cluster_;
   platform::NodeRange range_;
@@ -74,6 +84,8 @@ class Placer {
   std::unique_ptr<FreeResourceIndex> index_;
   platform::NodeId cursor_;
   PlacerStats stats_;
+  obs::TraceHandle trace_;
+  std::string trace_component_;
 };
 
 }  // namespace flotilla::sched

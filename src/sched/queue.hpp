@@ -16,6 +16,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/tracer.hpp"
 #include "platform/types.hpp"
 #include "util/error.hpp"
 
@@ -105,6 +106,8 @@ class TaskQueue {
   void push(QueueEntry entry) {
     const auto pos = policy_->insertion_index(entries_, entry);
     FLOT_CHECK(pos <= entries_.size(), "insertion index out of range");
+    trace_.begin(obs::SpanType::kTaskQueueWait, trace_component_, entry.id,
+                 static_cast<double>(entry.priority));
     entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(pos),
                     std::move(entry));
   }
@@ -122,6 +125,8 @@ class TaskQueue {
   QueueEntry take(std::size_t i) {
     QueueEntry entry = std::move(entries_.at(i));
     entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+    trace_.end(obs::SpanType::kTaskQueueWait, trace_component_, entry.id,
+               static_cast<double>(entries_.size()));
     return entry;
   }
 
@@ -138,13 +143,29 @@ class TaskQueue {
 
   template <typename Pred>
   void remove_if(Pred pred) {
+    if (trace_) {
+      for (const auto& entry : entries_) {
+        if (pred(entry)) {
+          trace_.end(obs::SpanType::kTaskQueueWait, trace_component_,
+                     entry.id);
+        }
+      }
+    }
     entries_.erase(
         std::remove_if(entries_.begin(), entries_.end(), std::move(pred)),
         entries_.end());
   }
 
   // Empties the queue, returning the entries in queue order.
-  std::deque<QueueEntry> drain() { return std::exchange(entries_, {}); }
+  std::deque<QueueEntry> drain() {
+    if (trace_) {
+      for (const auto& entry : entries_) {
+        trace_.end(obs::SpanType::kTaskQueueWait, trace_component_,
+                   entry.id);
+      }
+    }
+    return std::exchange(entries_, {});
+  }
 
   const std::deque<QueueEntry>& entries() const { return entries_; }
 
@@ -156,9 +177,19 @@ class TaskQueue {
     policy_ = std::move(policy);
   }
 
+  // Attaches structured tracing: each entry's time in the queue becomes a
+  // kTaskQueueWait span under `component` (push opens, take/remove/drain
+  // close) — the scheduler-wait slice of the Fig 7 breakdown.
+  void set_trace(obs::TraceHandle handle, std::string component) {
+    trace_ = handle;
+    trace_component_ = std::move(component);
+  }
+
  private:
   std::unique_ptr<QueuePolicy> policy_;
   std::deque<QueueEntry> entries_;
+  obs::TraceHandle trace_;
+  std::string trace_component_;
 };
 
 }  // namespace flotilla::sched

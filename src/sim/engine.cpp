@@ -54,6 +54,7 @@ bool Engine::step() {
   ++processed_;
   cb();
   if (post_event_hook_) post_event_hook_();
+  if (trace_probe_) trace_probe_(now_, processed_);
   return true;
 }
 

@@ -76,6 +76,13 @@ class Engine {
   // were cancelled.
   void set_post_event_hook(Callback hook) { post_event_hook_ = std::move(hook); }
 
+  // Trace probe: like the post-event hook but reserved for the tracing
+  // subsystem (src/obs), which samples event-loop progress through it —
+  // keeping both consumers independent. Fires after the post-event hook
+  // with the cumulative processed-event count.
+  using TraceProbe = std::function<void(Time now, std::uint64_t processed)>;
+  void set_trace_probe(TraceProbe probe) { trace_probe_ = std::move(probe); }
+
  private:
   struct Entry {
     Time time;
@@ -95,6 +102,7 @@ class Engine {
   std::size_t live_events_ = 0;
   bool stop_requested_ = false;
   Callback post_event_hook_;
+  TraceProbe trace_probe_;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   std::unordered_map<std::uint64_t, Callback> callbacks_;
 };

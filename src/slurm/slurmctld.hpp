@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "obs/tracer.hpp"
 #include "platform/calibration.hpp"
 #include "platform/cluster.hpp"
 #include "platform/placement.hpp"
@@ -69,6 +70,11 @@ class Slurmctld {
   double step_create_cost() const;
 
   void release(const platform::Placement& placement);
+
+  // Attaches structured tracing: placement attempts under `component`.
+  void set_trace(obs::TraceHandle handle, std::string component) {
+    placer_.set_trace(handle, std::move(component));
+  }
 
  private:
   void serve(double cost, StepRequest request, CreateReply reply);

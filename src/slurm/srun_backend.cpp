@@ -36,8 +36,10 @@ SrunBackend::~SrunBackend() = default;
 void SrunBackend::bootstrap(ReadyHandler ready) {
   // srun needs no runtime bootstrap: Slurm is already running system-wide.
   // A small constant covers RP's executor component coming up.
+  obs_trace_.begin(obs::SpanType::kBootstrap, name_, "");
   engine_.in(0.1, [this, ready = std::move(ready)] {
     healthy_ = true;
+    obs_trace_.end(obs::SpanType::kBootstrap, name_, "");
     ready(true, "");
   });
 }
@@ -50,10 +52,14 @@ void SrunBackend::submit(platform::LaunchRequest request) {
   srun->retry_delay = cal_.step_retry_initial;
   // The srun slot is taken for the whole task lifetime; the FIFO queue on
   // this resource is the system-level concurrency ceiling.
+  obs_trace_.begin(obs::SpanType::kTaskQueueWait, "srun.ceiling",
+                   srun->request.id);
   ceiling_->acquire(1, [this, srun] { start_srun(srun); });
 }
 
 void SrunBackend::start_srun(std::shared_ptr<Srun> srun) {
+  obs_trace_.end(obs::SpanType::kTaskQueueWait, "srun.ceiling",
+                 srun->request.id);
   if (shut_down_) {
     finish(std::move(srun), false, "backend shut down");
     return;

@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/tracer.hpp"
 #include "platform/backend.hpp"
 #include "platform/calibration.hpp"
 #include "sim/random.hpp"
@@ -50,6 +51,13 @@ class SrunBackend : public platform::TaskBackend {
   Slurmctld& controller() { return ctld_; }
   std::int64_t active_sruns() const { return ceiling_->in_use(); }
 
+  // Attaches structured tracing: bootstrap span, queue-wait spans on the
+  // concurrent-srun ceiling, and controller placement attempts.
+  void set_trace(obs::TraceHandle handle) override {
+    obs_trace_ = handle;
+    ctld_.set_trace(handle, "srun.ctld");
+  }
+
  private:
   struct Srun;  // one live srun client
 
@@ -66,6 +74,7 @@ class SrunBackend : public platform::TaskBackend {
   Slurmctld ctld_;
   std::unique_ptr<sim::Resource> owned_ceiling_;
   sim::Resource* ceiling_;  // concurrent-srun ceiling (owned or shared)
+  obs::TraceHandle obs_trace_;
   std::string name_ = "srun";
   bool healthy_ = false;
   bool shut_down_ = false;

@@ -91,7 +91,7 @@ bool allowlisted(const std::string& path) {
 const char* const kScopedDirs[] = {
     "src/sim/",   "src/core/",     "src/slurm/",     "src/flux/",
     "src/prrte/", "src/platform/", "src/workloads/", "src/sched/",
-    "src/check/",
+    "src/check/", "src/obs/",
 };
 
 bool in_scope(const std::string& path) {

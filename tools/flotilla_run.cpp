@@ -14,6 +14,8 @@
 
 #include "analytics/session_report.hpp"
 #include "core/flotilla.hpp"
+#include "obs/export.hpp"
+#include "obs/report.hpp"
 #include "platform/spec_config.hpp"
 #include "util/cli.hpp"
 #include "workloads/impeccable.hpp"
@@ -38,6 +40,10 @@ int main(int argc, char** argv) {
               "key=value file overriding platform.* and calibration keys")
       .option("trace-file", "", "CSV trace for --workload trace")
       .option("router", "static", "static | adaptive")
+      .option("trace", "", "write a Chrome trace_event JSON to this path")
+      .option("prof", "", "write an RP-profiler-style .prof CSV to this path")
+      .option("trace-capacity", "0",
+              "trace ring-buffer capacity in records (0 = default 1M)")
       .flag("report", "print the per-phase session report");
 
   try {
@@ -63,6 +69,17 @@ int main(int argc, char** argv) {
       calibration = platform::calibration_from_config(config);
     }
     core::Session session(spec, nodes, seed, calibration);
+    const auto trace_path = cli.get("trace");
+    const auto prof_path = cli.get("prof");
+    const bool tracing = !trace_path.empty() || !prof_path.empty();
+    if (tracing) {
+      // Must happen before pilots/task managers exist: components capture
+      // the trace handle at construction.
+      const auto capacity = cli.get_int("trace-capacity");
+      session.enable_tracing(capacity > 0
+                                 ? static_cast<std::size_t>(capacity)
+                                 : obs::Tracer::kDefaultCapacity);
+    }
     core::PilotManager pmgr(session);
 
     core::PilotDescription pdesc;
@@ -151,6 +168,30 @@ int main(int argc, char** argv) {
       tmgr.for_each_task(
           [&](const core::Task& task) { report.add(task); });
       report.print(std::cout);
+      if (tracing) {
+        obs::OverheadReport::from_trace(*session.tracer()).print(std::cout);
+      }
+    }
+
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::cerr << "cannot open --trace '" << trace_path << "'\n";
+        return 2;
+      }
+      obs::write_chrome_trace(*session.tracer(), out);
+      std::cout << "  trace:               " << trace_path << " ("
+                << session.tracer()->size() << " records, "
+                << session.tracer()->dropped() << " dropped)\n";
+    }
+    if (!prof_path.empty()) {
+      std::ofstream out(prof_path);
+      if (!out) {
+        std::cerr << "cannot open --prof '" << prof_path << "'\n";
+        return 2;
+      }
+      obs::write_prof(*session.tracer(), out);
+      std::cout << "  prof:                " << prof_path << "\n";
     }
     return 0;
   } catch (const std::exception& e) {
