@@ -36,9 +36,36 @@ METRICS = {
 }
 
 
-def load(path):
-    with open(path) as f:
-        return json.load(f)
+def load(path, role):
+    """Loads a snapshot json, exiting 2 with a clear message (no traceback)
+    when the file is missing, unreadable, malformed, or not an object —
+    the usual cause is a bench step that silently failed to produce
+    BENCH_sched.json."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as err:
+        print(
+            f"bench_compare: cannot read {role} snapshot {path!r}: "
+            f"{err.strerror or err}; did the bench step produce it?",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    except json.JSONDecodeError as err:
+        print(
+            f"bench_compare: {role} snapshot {path!r} is not valid JSON "
+            f"(line {err.lineno}: {err.msg}); re-run the bench step",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    if not isinstance(data, dict):
+        print(
+            f"bench_compare: {role} snapshot {path!r} must be a JSON "
+            f"object of metrics, got {type(data).__name__}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    return data
 
 
 def evaluate(baseline, current, tolerance):
@@ -136,8 +163,8 @@ def main():
     )
     args = parser.parse_args()
 
-    baseline = load(args.baseline)
-    current = load(args.current)
+    baseline = load(args.baseline, "baseline")
+    current = load(args.current, "current")
     if baseline.get("quick") != current.get("quick"):
         print(
             "bench_compare: baseline and current ran in different modes "

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# flotilla-analyze over the project's own sources (src/ and tools/),
+# against the committed layer DAG (analyze/layers.conf) and baseline
+# (analyze/baseline.txt). Usage:
+#
+#   scripts/run_analyze.sh [build-dir] [sarif-output]
+#
+# Builds the tool if needed, writes the SARIF report (default
+# flotilla-analyze.sarif, what CI uploads), and exits non-zero on any
+# finding that is neither waived in source nor grandfathered in the
+# baseline — which is how CI gates on it. To accept a finding instead of
+# fixing it:
+#
+#   ./build/tools/flotilla-analyze --baseline analyze/baseline.txt \
+#       --write-baseline
+#
+# and commit the diff (docs/correctness.md, "Static analysis").
+set -euo pipefail
+
+build_dir=${1:-build}
+sarif_out=${2:-flotilla-analyze.sarif}
+
+cd "$(dirname "$0")/.."
+
+if [ ! -d "$build_dir" ]; then
+  echo "run_analyze: no build dir '$build_dir'" \
+       "(configure with cmake -B '$build_dir' first)" >&2
+  exit 2
+fi
+cmake --build "$build_dir" --target flotilla-analyze -- -j "$(nproc 2>/dev/null || echo 2)"
+
+analyze="$build_dir/tools/flotilla-analyze"
+
+# SARIF for the artifact upload (exit code deferred to the gating run:
+# the SARIF run reports suppressed results too, so it shares the same
+# fresh-findings exit status).
+"$analyze" --baseline analyze/baseline.txt --sarif --output "$sarif_out" \
+  || true
+
+# Human-readable gate: prints fresh findings and fails on them.
+exec "$analyze" --baseline analyze/baseline.txt

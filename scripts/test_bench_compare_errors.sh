@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Tiny regression test for scripts/bench_compare.py error handling:
+# a missing or malformed snapshot must exit 2 with a one-line message on
+# stderr — never a Python traceback. Registered in tests/CMakeLists.txt
+# as bench_compare_errors_test; takes the repo root as $1.
+set -u
+
+ROOT="${1:?usage: test_bench_compare_errors.sh <repo-root>}"
+COMPARE="$ROOT/scripts/bench_compare.py"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+# A valid snapshot to pair with the broken ones.
+cat > "$TMP/good.json" <<'EOF'
+{"quick": true, "events_per_sec": 1000.0}
+EOF
+
+check_error() {
+  local desc="$1"; shift
+  local stderr_file="$TMP/stderr"
+  python3 "$COMPARE" "$@" >/dev/null 2>"$stderr_file"
+  local rc=$?
+  [ "$rc" -eq 2 ] || fail "$desc: expected exit 2, got $rc"
+  grep -q "bench_compare:" "$stderr_file" \
+    || fail "$desc: no bench_compare: message on stderr"
+  grep -q "Traceback" "$stderr_file" \
+    && fail "$desc: traceback leaked to stderr"
+  return 0
+}
+
+# Missing current snapshot (the BENCH_sched.json-never-produced case).
+check_error "missing current" "$TMP/good.json" "$TMP/BENCH_sched.json"
+
+# Missing baseline.
+check_error "missing baseline" "$TMP/nope.json" "$TMP/good.json"
+
+# Malformed JSON.
+printf '{"events_per_sec": ' > "$TMP/truncated.json"
+check_error "malformed json" "$TMP/good.json" "$TMP/truncated.json"
+
+# Valid JSON of the wrong shape.
+printf '[1, 2, 3]' > "$TMP/array.json"
+check_error "non-object json" "$TMP/good.json" "$TMP/array.json"
+
+# Sanity: the happy path still works.
+python3 "$COMPARE" "$TMP/good.json" "$TMP/good.json" >/dev/null 2>&1 \
+  || fail "happy path: expected exit 0"
+
+echo "bench_compare error handling OK"

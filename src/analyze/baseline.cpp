@@ -1,0 +1,94 @@
+#include "analyze/baseline.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace flotilla::analyze {
+
+namespace {
+
+// Splits `rule|file|line|message` (message keeps any further '|').
+bool parse_line(const std::string& line, Finding* out) {
+  const std::size_t p1 = line.find('|');
+  if (p1 == std::string::npos) return false;
+  const std::size_t p2 = line.find('|', p1 + 1);
+  if (p2 == std::string::npos) return false;
+  const std::size_t p3 = line.find('|', p2 + 1);
+  if (p3 == std::string::npos) return false;
+  out->rule = line.substr(0, p1);
+  out->file = line.substr(p1 + 1, p2 - p1 - 1);
+  const std::string line_str = line.substr(p2 + 1, p3 - p2 - 1);
+  char* end = nullptr;
+  out->line = std::strtoul(line_str.c_str(), &end, 10);
+  if (end == line_str.c_str() || *end != '\0') return false;
+  out->message = line.substr(p3 + 1);
+  return !out->rule.empty() && !out->file.empty();
+}
+
+}  // namespace
+
+bool parse_baseline(const std::string& text, std::set<Finding>* out,
+                    std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    Finding f;
+    if (!parse_line(line.substr(first), &f)) {
+      *error = "baseline line " + std::to_string(lineno) +
+               ": expected 'rule|file|line|message'";
+      return false;
+    }
+    out->insert(std::move(f));
+  }
+  return true;
+}
+
+bool load_baseline(const std::string& path, std::set<Finding>* out,
+                   std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return true;  // no baseline yet: everything is a fresh finding
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!parse_baseline(buf.str(), out, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+std::string format_baseline(const std::vector<Finding>& findings) {
+  std::string out =
+      "# flotilla-analyze baseline: grandfathered findings, one per line as\n"
+      "# rule|file|line|message. CI fails only on findings not listed here.\n"
+      "# Regenerate with: flotilla-analyze --write-baseline <this file>\n";
+  for (const Finding& f : findings) {
+    out += f.rule + "|" + f.file + "|" + std::to_string(f.line) + "|" +
+           f.message + "\n";
+  }
+  return out;
+}
+
+bool save_baseline(const std::string& path,
+                   const std::vector<Finding>& findings, std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    *error = path + ": cannot open for writing";
+    return false;
+  }
+  out << format_baseline(findings);
+  out.flush();
+  if (!out) {
+    *error = path + ": write failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace flotilla::analyze

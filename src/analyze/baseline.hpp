@@ -1,0 +1,39 @@
+// Committed-findings baseline.
+//
+// The analyzer is adopted on an existing tree, so day-one findings that
+// are judged acceptable (or too risky to churn) are grandfathered in a
+// checked-in baseline file instead of waived in source. CI fails only on
+// findings *not* in the baseline; removing an entry is a one-line diff
+// that ratchets the tree forward.
+//
+// Format: one finding per line, `rule|file|line|message`, with `#`
+// comment lines and blank lines ignored. The file is written sorted so
+// regeneration is a stable diff.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/pass.hpp"
+
+namespace flotilla::analyze {
+
+// Parses baseline text. Malformed lines are reported through *error
+// (first offender) and the function returns false.
+bool parse_baseline(const std::string& text, std::set<Finding>* out,
+                    std::string* error);
+
+// Loads `path`. A missing file is NOT an error: it yields an empty
+// baseline (first run before anything is committed).
+bool load_baseline(const std::string& path, std::set<Finding>* out,
+                   std::string* error);
+
+// Serializes findings (assumed sorted) in the baseline format.
+std::string format_baseline(const std::vector<Finding>& findings);
+
+// Writes `format_baseline` to `path`; false on I/O failure.
+bool save_baseline(const std::string& path,
+                   const std::vector<Finding>& findings, std::string* error);
+
+}  // namespace flotilla::analyze

@@ -1,0 +1,46 @@
+// Determinism rules, ported from the original line/regex flotilla-lint
+// onto the token stream (docs/correctness.md).
+//
+// Rules (unchanged ids and messages, so existing waivers keep working):
+//   wall-clock            host clocks in simulation code
+//   unseeded-random       rand()/random_device/drand48()/...
+//   hardware-concurrency  std::thread::hardware_concurrency()
+//   real-sleep            sleep_for/usleep/nanosleep/...
+//   unordered-iteration   range-for over a hash container declared in the
+//                         file or its paired header
+//
+// Token-stream matching removes the residual false-positive classes of the
+// regex scanner: identifiers are matched whole (never inside a longer
+// name), and the call-form rules look at real neighbor tokens instead of
+// guessing at whitespace.
+#pragma once
+
+#include <string>
+
+#include "analyze/pass.hpp"
+
+namespace flotilla::analyze {
+
+// Simulation-code scope: which files the determinism rules apply to when
+// scanning a tree. src/{sim,core,slurm,flux,prrte,platform,workloads,
+// sched,check,obs,analyze}/ plus the simulated dragon backend files.
+// Paths are matched '/'-normalized.
+bool determinism_in_scope(const std::string& path);
+
+// Real-threaded execution layer, exempt even when named explicitly.
+bool determinism_allowlisted(const std::string& path);
+
+class DeterminismPass : public Pass {
+ public:
+  std::string_view name() const override { return "determinism"; }
+  std::vector<std::string> rules() const override;
+  void run(const AnalysisInput& input,
+           std::vector<Finding>* findings) const override;
+
+  // Checks one file (used by the flotilla-lint compatibility driver,
+  // which does its own scope filtering).
+  static void check_file(const SourceFile& file,
+                         std::vector<Finding>* findings);
+};
+
+}  // namespace flotilla::analyze

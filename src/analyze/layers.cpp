@@ -1,0 +1,300 @@
+#include "analyze/layers.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+namespace flotilla::analyze {
+
+namespace {
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string word;
+  while (in >> word) out.push_back(word);
+  return out;
+}
+
+}  // namespace
+
+std::string LayersConfig::layer_of(const std::string& file) const {
+  std::string best;
+  std::size_t best_len = 0;
+  for (const Layer& layer : layers) {
+    for (const std::string& prefix : layer.prefixes) {
+      if (prefix.size() >= best_len &&
+          file.compare(0, prefix.size(), prefix) == 0) {
+        best = layer.name;
+        best_len = prefix.size();
+      }
+    }
+  }
+  return best;
+}
+
+bool LayersConfig::allowed(const std::string& from,
+                           const std::string& to) const {
+  if (from == to) return true;
+  // BFS over direct allow edges.
+  std::set<std::string> seen{from};
+  std::vector<std::string> queue{from};
+  while (!queue.empty()) {
+    const std::string cur = queue.back();
+    queue.pop_back();
+    const auto it = allow.find(cur);
+    if (it == allow.end()) continue;
+    for (const std::string& next : it->second) {
+      if (next == to) return true;
+      if (seen.insert(next).second) queue.push_back(next);
+    }
+  }
+  return false;
+}
+
+std::string LayersConfig::dag_cycle() const {
+  // DFS with a gray set; renders the first cycle found (deterministic:
+  // layers and edges iterate in declaration/sorted order).
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  for (const Layer& layer : layers) color[layer.name] = Color::kWhite;
+  std::vector<std::string> stack;
+  std::string cycle;
+  std::function<bool(const std::string&)> dfs =
+      [&](const std::string& node) -> bool {
+    color[node] = Color::kGray;
+    stack.push_back(node);
+    const auto it = allow.find(node);
+    if (it != allow.end()) {
+      for (const std::string& next : it->second) {
+        const auto c = color.find(next);
+        if (c == color.end()) continue;
+        if (c->second == Color::kGray) {
+          const auto at = std::find(stack.begin(), stack.end(), next);
+          std::string text;
+          for (auto s = at; s != stack.end(); ++s) text += *s + " -> ";
+          cycle = text + next;
+          return true;
+        }
+        if (c->second == Color::kWhite && dfs(next)) return true;
+      }
+    }
+    stack.pop_back();
+    color[node] = Color::kBlack;
+    return false;
+  };
+  for (const Layer& layer : layers) {
+    if (color[layer.name] == Color::kWhite && dfs(layer.name)) return cycle;
+  }
+  return "";
+}
+
+bool parse_layers(const std::string& path, const std::string& text,
+                  LayersConfig* out, std::string* error) {
+  out->path = path;
+  out->layers.clear();
+  out->allow.clear();
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  std::set<std::string> names;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::vector<std::string> words = split_ws(line);
+    if (words.empty()) continue;
+    const std::string where = path + ":" + std::to_string(lineno) + ": ";
+    if (words[0] == "layer") {
+      if (words.size() < 3) {
+        *error = where + "layer needs a name and at least one path prefix";
+        return false;
+      }
+      if (!names.insert(words[1]).second) {
+        *error = where + "duplicate layer '" + words[1] + "'";
+        return false;
+      }
+      LayersConfig::Layer layer;
+      layer.name = words[1];
+      layer.prefixes.assign(words.begin() + 2, words.end());
+      out->layers.push_back(std::move(layer));
+    } else if (words[0] == "allow") {
+      if (words.size() < 3) {
+        *error = where + "allow needs a layer and at least one dependency";
+        return false;
+      }
+      for (std::size_t i = 1; i < words.size(); ++i) {
+        if (names.count(words[i]) == 0) {
+          *error = where + "unknown layer '" + words[i] +
+                   "' (declare layers before allow lines)";
+          return false;
+        }
+      }
+      auto& deps = out->allow[words[1]];
+      deps.insert(words.begin() + 2, words.end());
+    } else {
+      *error = where + "unknown directive '" + words[0] + "'";
+      return false;
+    }
+  }
+  const std::string cycle = out->dag_cycle();
+  if (!cycle.empty()) {
+    *error = path + ": declared layer graph is not a DAG: " + cycle;
+    return false;
+  }
+  return true;
+}
+
+bool load_layers(const std::string& path, LayersConfig* out,
+                 std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = path + ": cannot read layers config";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_layers(path, buffer.str(), out, error);
+}
+
+namespace {
+
+// Resolves an include path to the display path of an analyzed file, or ""
+// for system/external includes. Tries the path as written, under src/,
+// and relative to the including file's directory.
+std::string resolve_include(const std::set<std::string>& known,
+                            const std::string& includer,
+                            const std::string& path) {
+  if (known.count(path) > 0) return path;
+  const std::string under_src = "src/" + path;
+  if (known.count(under_src) > 0) return under_src;
+  const std::size_t slash = includer.rfind('/');
+  if (slash != std::string::npos) {
+    const std::string sibling = includer.substr(0, slash + 1) + path;
+    if (known.count(sibling) > 0) return sibling;
+  }
+  return "";
+}
+
+}  // namespace
+
+void ArchitecturePass::run(const AnalysisInput& input,
+                           std::vector<Finding>* findings) const {
+  if (!config_error_.empty()) {
+    findings->push_back({config_.path.empty() ? "analyze/layers.conf"
+                                              : config_.path,
+                         1, "arch-config", config_error_});
+    return;
+  }
+
+  std::set<std::string> known;
+  for (const SourceFile& file : input.files) known.insert(file.display);
+
+  // Resolved repo-internal include edges: includer -> (resolved, line).
+  std::map<std::string, std::vector<std::pair<std::string, std::size_t>>>
+      edges;
+  for (const SourceFile& file : input.files) {
+    const std::string from_layer = config_.layer_of(file.display);
+    if (from_layer.empty()) {
+      findings->push_back(
+          {file.display, 1, "arch-unmapped",
+           "file is not covered by any layer prefix in " + config_.path +
+               "; add it to a layer"});
+    }
+    for (const IncludeDirective& inc : file.lex.includes) {
+      if (inc.system) continue;
+      const std::string target =
+          resolve_include(known, file.display, inc.path);
+      if (target.empty()) continue;
+      edges[file.display].push_back({target, inc.line});
+      if (from_layer.empty()) continue;
+      const std::string to_layer = config_.layer_of(target);
+      if (to_layer.empty()) continue;  // reported once as arch-unmapped
+      if (!config_.allowed(from_layer, to_layer)) {
+        findings->push_back(
+            {file.display, inc.line, "arch-layering",
+             "include of \"" + inc.path + "\" makes layer '" + from_layer +
+                 "' depend on layer '" + to_layer +
+                 "', which the declared DAG in " + config_.path +
+                 " forbids"});
+      }
+    }
+  }
+
+  // Include cycles among repo files (Tarjan SCC; deterministic order).
+  std::map<std::string, int> index, low;
+  std::vector<std::string> stack;
+  std::set<std::string> on_stack;
+  int counter = 0;
+  std::vector<std::vector<std::string>> cycles;
+  std::function<void(const std::string&)> strongconnect =
+      [&](const std::string& v) {
+        index[v] = low[v] = counter++;
+        stack.push_back(v);
+        on_stack.insert(v);
+        const auto it = edges.find(v);
+        if (it != edges.end()) {
+          for (const auto& [w, line] : it->second) {
+            (void)line;
+            if (index.find(w) == index.end()) {
+              strongconnect(w);
+              low[v] = std::min(low[v], low[w]);
+            } else if (on_stack.count(w) > 0) {
+              low[v] = std::min(low[v], index[w]);
+            }
+          }
+        }
+        if (low[v] == index[v]) {
+          std::vector<std::string> scc;
+          while (true) {
+            const std::string w = stack.back();
+            stack.pop_back();
+            on_stack.erase(w);
+            scc.push_back(w);
+            if (w == v) break;
+          }
+          bool self_loop = false;
+          const auto self = edges.find(v);
+          if (scc.size() == 1 && self != edges.end()) {
+            for (const auto& [w, line] : self->second) {
+              (void)line;
+              if (w == v) self_loop = true;
+            }
+          }
+          if (scc.size() > 1 || self_loop) {
+            std::sort(scc.begin(), scc.end());
+            cycles.push_back(std::move(scc));
+          }
+        }
+      };
+  for (const SourceFile& file : input.files) {
+    if (index.find(file.display) == index.end()) {
+      strongconnect(file.display);
+    }
+  }
+  std::sort(cycles.begin(), cycles.end());
+  for (const auto& scc : cycles) {
+    // Anchor the finding at the first member's include into the SCC.
+    const std::string& anchor = scc.front();
+    std::size_t line = 1;
+    const auto it = edges.find(anchor);
+    if (it != edges.end()) {
+      for (const auto& [w, inc_line] : it->second) {
+        if (std::find(scc.begin(), scc.end(), w) != scc.end()) {
+          line = inc_line;
+          break;
+        }
+      }
+    }
+    std::string members;
+    for (const std::string& m : scc) {
+      if (!members.empty()) members += " <-> ";
+      members += m;
+    }
+    findings->push_back({anchor, line, "arch-cycle",
+                         "include cycle between: " + members});
+  }
+}
+
+}  // namespace flotilla::analyze

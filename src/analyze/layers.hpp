@@ -1,0 +1,77 @@
+// Architecture conformance: declared layer DAG + include-graph checks.
+//
+// analyze/layers.conf declares the repo's layering as data:
+//
+//   # comment
+//   layer <name> <path-prefix> [<path-prefix>...]
+//   allow <name> <dep-layer> [<dep-layer>...]
+//
+// A file belongs to the layer whose prefix matches it longest (so
+// `src/analytics/session_report` can sit in a different layer than the
+// rest of `src/analytics/`, mirroring the flotilla_analytics /
+// flotilla_report CMake split). `allow` edges are transitive: a layer may
+// include anything reachable through the DAG, plus itself. The pass
+// reports:
+//
+//   arch-layering   an #include crossing the DAG against the grain
+//   arch-cycle      any include cycle among repo files (layer-independent)
+//   arch-unmapped   an analyzed file no declared prefix covers
+//   arch-config     a malformed or cyclic layers.conf
+//
+// DESIGN.md links layers.conf as the authoritative architecture statement.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/pass.hpp"
+
+namespace flotilla::analyze {
+
+struct LayersConfig {
+  struct Layer {
+    std::string name;
+    std::vector<std::string> prefixes;
+  };
+  std::string path;  // for diagnostics
+  std::vector<Layer> layers;
+  std::map<std::string, std::set<std::string>> allow;  // direct edges
+
+  // Layer of a repo-relative path, or "" when unmapped.
+  std::string layer_of(const std::string& file) const;
+  // True when `from` may depend on `to` (reflexive-transitive closure).
+  bool allowed(const std::string& from, const std::string& to) const;
+  // "" when the declared DAG is acyclic, else one cycle rendered
+  // "a -> b -> a".
+  std::string dag_cycle() const;
+};
+
+// Parses layers.conf text. Returns false and sets *error on malformed
+// input (unknown directive, allow for undeclared layer, ...).
+bool parse_layers(const std::string& path, const std::string& text,
+                  LayersConfig* out, std::string* error);
+bool load_layers(const std::string& path, LayersConfig* out,
+                 std::string* error);
+
+class ArchitecturePass : public Pass {
+ public:
+  // `config_error` non-empty turns every run into a single arch-config
+  // finding (the tool still runs the other passes).
+  ArchitecturePass(LayersConfig config, std::string config_error)
+      : config_(std::move(config)), config_error_(std::move(config_error)) {}
+
+  std::string_view name() const override { return "architecture"; }
+  std::vector<std::string> rules() const override {
+    return {"arch-config", "arch-cycle", "arch-layering", "arch-unmapped"};
+  }
+  void run(const AnalysisInput& input,
+           std::vector<Finding>* findings) const override;
+
+ private:
+  LayersConfig config_;
+  std::string config_error_;
+};
+
+}  // namespace flotilla::analyze

@@ -1,0 +1,39 @@
+// Preprocessor-aware C++ lexer for the static-analysis framework.
+//
+// Not a compiler front-end: the goal is a token stream that is *reliable*
+// for pattern-level analyses (no comment or string-literal content can
+// ever leak into a match) and cheap enough to run over the whole tree on
+// every CI push. Handles line (//) and block comments, "..."/'...'
+// literals with escapes, R"delim(...)delim" raw strings, digit
+// separators (1'000'000), line continuations in directives, and the
+// #include / #if-family directives, which are surfaced as structured
+// records instead of tokens.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/token.hpp"
+
+namespace flotilla::analyze {
+
+struct LexedFile {
+  std::string path;     // as given to lex_file / lex_string
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  std::vector<ConditionalDirective> conditionals;
+  // Comment text per source line (concatenated when a line holds several;
+  // block comments contribute to every line they span). Used for
+  // FLOTILLA_LINT_ALLOW waiver lookups.
+  std::map<std::size_t, std::string> comments;
+};
+
+// Lexes an in-memory buffer. `path` is only recorded for diagnostics.
+LexedFile lex_string(const std::string& path, const std::string& source);
+
+// Reads and lexes a file; returns false when the file cannot be read.
+bool lex_file(const std::string& path, LexedFile* out);
+
+}  // namespace flotilla::analyze

@@ -1,0 +1,37 @@
+// Lock discipline: the PR 1 ProcessPool deadlock class, as a static pass.
+//
+// Tracks std::lock_guard / std::unique_lock / std::scoped_lock scopes per
+// callable body (lambda bodies are independent — a deferred callback does
+// not run under the locks around its definition) and reports:
+//
+//   lock-callback  a user-callback invocation (a variable/member/parameter
+//                  of std::function type, a `using X = std::function`
+//                  alias, or a *Callback / *Handler type) while a lock is
+//                  held. Callbacks may re-enter the locking component —
+//                  the exact shape of the PR 1 ProcessPool deadlock.
+//   lock-virtual   a virtual-method call while a lock is held (dynamic
+//                  dispatch can land in user code the component cannot
+//                  audit). Virtual methods are recognized from `virtual`
+//                  declarations in the file or its paired header.
+//   lock-order     two mutexes acquired in both (A, B) and (B, A) nesting
+//                  order anywhere in the analyzed tree.
+//
+// unique_lock .unlock()/.lock() toggles and std::defer_lock are honored;
+// guards deactivate when their enclosing brace scope closes.
+#pragma once
+
+#include "analyze/pass.hpp"
+
+namespace flotilla::analyze {
+
+class LockDisciplinePass : public Pass {
+ public:
+  std::string_view name() const override { return "locks"; }
+  std::vector<std::string> rules() const override {
+    return {"lock-callback", "lock-order", "lock-virtual"};
+  }
+  void run(const AnalysisInput& input,
+           std::vector<Finding>* findings) const override;
+};
+
+}  // namespace flotilla::analyze

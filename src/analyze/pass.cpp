@@ -1,0 +1,36 @@
+#include "analyze/pass.hpp"
+
+#include <cctype>
+
+namespace flotilla::analyze {
+
+const Pass* PassRegistry::find(std::string_view pass_name) const {
+  for (const auto& pass : passes_) {
+    if (pass->name() == pass_name) return pass.get();
+  }
+  return nullptr;
+}
+
+bool waived(const LexedFile& lex, std::size_t line, const std::string& rule) {
+  const auto it = lex.comments.find(line);
+  if (it == lex.comments.end()) return false;
+  const std::string& text = it->second;
+  const std::string tag = "FLOTILLA_LINT_ALLOW(";
+  const std::size_t at = text.find(tag);
+  if (at == std::string::npos) return false;
+  const std::size_t close = text.find(')', at);
+  if (close == std::string::npos) return false;
+  const std::string id = text.substr(at + tag.size(), close - at - tag.size());
+  if (id != rule && id != "*") return false;
+  // The reason is mandatory: require ": <text>" after the closing paren.
+  std::size_t reason = close + 1;
+  if (reason >= text.size() || text[reason] != ':') return false;
+  ++reason;
+  while (reason < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[reason])) != 0) {
+    ++reason;
+  }
+  return reason < text.size();
+}
+
+}  // namespace flotilla::analyze

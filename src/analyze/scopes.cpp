@@ -1,0 +1,189 @@
+#include "analyze/scopes.hpp"
+
+#include <array>
+
+namespace flotilla::analyze {
+
+namespace {
+
+bool is_open(const std::string& t) {
+  return t == "(" || t == "[" || t == "{";
+}
+bool is_close(const std::string& t) {
+  return t == ")" || t == "]" || t == "}";
+}
+
+bool any_of(const std::string& t, std::initializer_list<const char*> set) {
+  for (const char* s : set) {
+    if (t == s) return true;
+  }
+  return false;
+}
+
+enum class BraceKind { kFunction, kLambda, kType, kControl, kInit };
+
+}  // namespace
+
+std::size_t matching_close(const std::vector<Token>& tokens,
+                           std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kPunct) continue;
+    if (is_open(tokens[i].text)) ++depth;
+    if (is_close(tokens[i].text) && --depth == 0) return i;
+  }
+  return tokens.size();
+}
+
+std::size_t matching_open(const std::vector<Token>& tokens,
+                          std::size_t close) {
+  int depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (tokens[i].kind != TokenKind::kPunct) continue;
+    if (is_close(tokens[i].text)) ++depth;
+    if (is_open(tokens[i].text) && --depth == 0) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+namespace {
+
+// Classifies the '{' at token index i. `name` receives the best-effort
+// function name for kFunction braces.
+BraceKind classify_brace(const std::vector<Token>& tokens, std::size_t i,
+                         std::string* name) {
+  if (i == 0) return BraceKind::kControl;
+  std::size_t p = i - 1;
+
+  // Skip back over trailing function decoration: `) const noexcept {`,
+  // `) -> std::vector<int> {`, `] (x) mutable {`. Stop at a structural
+  // token; remember whether a class-like keyword was crossed.
+  bool saw_type_keyword = false;
+  int walked = 0;
+  while (walked++ < 64) {
+    const Token& t = tokens[p];
+    if (t.kind == TokenKind::kIdentifier) {
+      if (any_of(t.text,
+                 {"class", "struct", "union", "enum", "namespace"})) {
+        saw_type_keyword = true;
+      }
+      if (any_of(t.text, {"else", "do", "try"})) return BraceKind::kControl;
+    } else if (t.kind == TokenKind::kPunct) {
+      if (t.text == ")" || t.text == "]" || t.text == ";" || t.text == "{" ||
+          t.text == "}" || t.text == "(" || t.text == "=") {
+        break;
+      }
+      if (!any_of(t.text, {"::", "<", ">", ",", ":", "->", "*", "&"})) {
+        return BraceKind::kInit;  // operators: a braced expression
+      }
+    } else if (t.kind == TokenKind::kNumber || t.kind == TokenKind::kChar) {
+      return BraceKind::kInit;
+    }
+    // kString (e.g. extern "C") and everything skippable: keep walking.
+    if (p == 0) return saw_type_keyword ? BraceKind::kType : BraceKind::kInit;
+    --p;
+  }
+  if (walked >= 64) return BraceKind::kInit;
+
+  const Token& stop = tokens[p];
+  if (saw_type_keyword) return BraceKind::kType;
+  if (stop.text == ")") {
+    const std::size_t open = matching_open(tokens, p);
+    if (open == static_cast<std::size_t>(-1) || open == 0) {
+      return BraceKind::kFunction;
+    }
+    std::size_t r = open - 1;
+    // `if constexpr (...)` puts constexpr between the keyword and '('.
+    if (tokens[r].kind == TokenKind::kIdentifier &&
+        tokens[r].text == "constexpr" && r > 0) {
+      --r;
+    }
+    const Token& before = tokens[r];
+    if (before.kind == TokenKind::kIdentifier &&
+        any_of(before.text, {"if", "for", "while", "switch", "catch"})) {
+      return BraceKind::kControl;
+    }
+    if (before.kind == TokenKind::kPunct && before.text == "]") {
+      return BraceKind::kLambda;
+    }
+    if (before.kind == TokenKind::kIdentifier) {
+      *name = before.text;
+      return BraceKind::kFunction;
+    }
+    return BraceKind::kFunction;
+  }
+  if (stop.text == "]") return BraceKind::kLambda;
+  if (stop.text == ";" || stop.text == "{" || stop.text == "}") {
+    // A brace opening a statement: `{ ... }` block scope.
+    return BraceKind::kControl;
+  }
+  return BraceKind::kInit;  // '=', '(' , ...: braced initializer/argument
+}
+
+}  // namespace
+
+BodyIndex build_bodies(const LexedFile& file) {
+  const std::vector<Token>& tokens = file.tokens;
+  BodyIndex index;
+  index.body_of.assign(tokens.size(), -1);
+
+  struct Frame {
+    int owner = -1;    // body id governing tokens inside this brace
+    int body = -1;     // body opened by this brace, -1 if none
+    std::size_t open = 0;
+  };
+  std::vector<Frame> stack;
+  int current_owner = -1;
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    if (tok.kind == TokenKind::kPunct && tok.text == "{") {
+      std::string name;
+      const BraceKind kind = classify_brace(tokens, i, &name);
+      Frame frame;
+      frame.open = i;
+      frame.owner = current_owner;
+      if (kind == BraceKind::kFunction || kind == BraceKind::kLambda) {
+        Body body;
+        body.id = static_cast<int>(index.bodies.size());
+        body.parent = current_owner;
+        body.lambda = kind == BraceKind::kLambda;
+        body.name = kind == BraceKind::kLambda
+                        ? "<lambda>"
+                        : (name.empty() ? "<fn>" : name);
+        body.line = tok.line;
+        body.open = i;
+        index.bodies.push_back(body);
+        frame.body = body.id;
+        current_owner = body.id;
+      } else if (kind == BraceKind::kType) {
+        current_owner = -1;
+      }
+      index.body_of[i] = current_owner;
+      stack.push_back(frame);
+      continue;
+    }
+    if (tok.kind == TokenKind::kPunct && tok.text == "}") {
+      if (!stack.empty()) {
+        const Frame frame = stack.back();
+        stack.pop_back();
+        index.body_of[i] = current_owner;
+        if (frame.body >= 0) {
+          index.bodies[static_cast<std::size_t>(frame.body)].close = i;
+        }
+        current_owner = frame.owner;
+      } else {
+        index.body_of[i] = current_owner;
+      }
+      continue;
+    }
+    index.body_of[i] = current_owner;
+  }
+  // Unterminated bodies (unbalanced braces): close at EOF.
+  for (Body& body : index.bodies) {
+    if (body.close == 0) body.close = tokens.empty() ? 0 : tokens.size() - 1;
+  }
+  return index;
+}
+
+}  // namespace flotilla::analyze

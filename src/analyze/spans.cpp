@@ -1,0 +1,102 @@
+#include "analyze/spans.hpp"
+
+#include <vector>
+
+namespace flotilla::analyze {
+
+namespace {
+
+bool is_ident(const Token& t) { return t.kind == TokenKind::kIdentifier; }
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+struct Event {
+  enum class Kind { kBegin, kEnd, kReturn } kind;
+  std::string type;  // SpanType constant name (empty for returns)
+  std::size_t line = 0;
+  bool consumed = false;  // an end already matched to an earlier begin
+};
+
+// Parses `begin`/`end` `(` [obs ::] SpanType :: kX at token i (i is the
+// begin/end identifier). Returns the constant name or "".
+std::string span_type_at(const std::vector<Token>& toks, std::size_t i) {
+  std::size_t j = i + 1;
+  if (j >= toks.size() || !is_punct(toks[j], "(")) return "";
+  ++j;
+  if (j + 1 < toks.size() && is_ident(toks[j]) && toks[j].text == "obs" &&
+      is_punct(toks[j + 1], "::")) {
+    j += 2;
+  }
+  if (j + 2 < toks.size() && is_ident(toks[j]) &&
+      toks[j].text == "SpanType" && is_punct(toks[j + 1], "::") &&
+      is_ident(toks[j + 2])) {
+    return toks[j + 2].text;
+  }
+  return "";
+}
+
+void analyze_body(const SourceFile& file, const Body& body,
+                  std::vector<Finding>* findings) {
+  const auto& toks = file.lex.tokens;
+  std::vector<Event> events;
+  for (std::size_t i = body.open; i <= body.close && i < toks.size(); ++i) {
+    if (file.bodies.body_of[i] != body.id) continue;
+    const Token& tok = toks[i];
+    if (!is_ident(tok)) continue;
+    if (tok.text == "return" || tok.text == "co_return") {
+      events.push_back({Event::Kind::kReturn, "", tok.line, false});
+      continue;
+    }
+    if (tok.text != "begin" && tok.text != "end") continue;
+    const std::string type = span_type_at(toks, i);
+    if (type.empty()) continue;
+    events.push_back({tok.text == "begin" ? Event::Kind::kBegin
+                                          : Event::Kind::kEnd,
+                      type, tok.line, false});
+  }
+
+  // Greedy pairing per span type; report returns inside a matched pair.
+  for (std::size_t b = 0; b < events.size(); ++b) {
+    if (events[b].kind != Event::Kind::kBegin) continue;
+    // Find the first unconsumed end of the same type after this begin.
+    std::size_t match = events.size();
+    for (std::size_t e = b + 1; e < events.size(); ++e) {
+      if (events[e].kind == Event::Kind::kEnd && !events[e].consumed &&
+          events[e].type == events[b].type) {
+        match = e;
+        break;
+      }
+      // An intervening begin of the same type claims the next end.
+      if (events[e].kind == Event::Kind::kBegin &&
+          events[e].type == events[b].type) {
+        break;
+      }
+    }
+    if (match == events.size()) continue;  // event-driven span: no lexical end
+    events[match].consumed = true;
+    const std::size_t end_line = events[match].line;
+    for (std::size_t r = b + 1; r < match; ++r) {
+      if (events[r].kind != Event::Kind::kReturn) continue;
+      findings->push_back(
+          {file.display, events[r].line, "span-balance",
+           "early return leaks span '" + events[b].type + "' begun at line " +
+               std::to_string(events[b].line) + " in '" + body.name +
+               "' (closed at line " + std::to_string(end_line) +
+               "); close the span before returning"});
+    }
+  }
+}
+
+}  // namespace
+
+void SpanBalancePass::run(const AnalysisInput& input,
+                          std::vector<Finding>* findings) const {
+  for (const SourceFile& file : input.files) {
+    for (const Body& body : file.bodies.bodies) {
+      analyze_body(file, body, findings);
+    }
+  }
+}
+
+}  // namespace flotilla::analyze

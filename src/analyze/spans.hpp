@@ -1,0 +1,34 @@
+// Span balance: keep the obs::Tracer begin/end instrumentation honest.
+//
+// The Fig 7 overhead report (src/obs/report.hpp) pairs begin/end records;
+// a span opened but never closed silently skews a whole category. Most
+// spans in this codebase are *event-driven* — begin() in one function,
+// end() in the callback that observes completion — and those are fine by
+// construction. What is statically checkable, and what this pass checks,
+// is the lexical case: when one callable body contains both the begin and
+// the end of a span type, an early `return` between them leaks the span.
+//
+// Per body (lambdas are independent bodies): begin(SpanType::kX, ...) and
+// end(SpanType::kX, ...) calls are paired greedily in token order; a
+// `return` strictly between a begin and its matched end is reported as
+// rule `span-balance`. Begins with no end in the same body are assumed
+// event-driven and skipped; ends with no begin close a span opened
+// elsewhere and are likewise skipped. Calls whose span type is not a
+// literal SpanType constant (e.g. a ternary) are ignored.
+#pragma once
+
+#include "analyze/pass.hpp"
+
+namespace flotilla::analyze {
+
+class SpanBalancePass : public Pass {
+ public:
+  std::string_view name() const override { return "spans"; }
+  std::vector<std::string> rules() const override {
+    return {"span-balance"};
+  }
+  void run(const AnalysisInput& input,
+           std::vector<Finding>* findings) const override;
+};
+
+}  // namespace flotilla::analyze

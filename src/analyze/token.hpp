@@ -1,0 +1,51 @@
+// Token model for the static-analysis framework (docs/correctness.md,
+// "Static analysis").
+//
+// The lexer (analyze/lexer.hpp) turns a C++ translation unit into a flat
+// token stream with comments and string/char literal *contents* removed
+// but their positions preserved: every token knows its line, so passes
+// report real source locations without re-reading the file. Preprocessor
+// directives are not part of the stream — they are surfaced separately as
+// structured IncludeDirective / ConditionalDirective records, which is
+// what the architecture pass consumes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace flotilla::analyze {
+
+enum class TokenKind : unsigned char {
+  kIdentifier,  // identifiers and keywords (passes match on text)
+  kNumber,      // numeric literal (digit separators folded in)
+  kString,      // a string literal (text is "", contents stripped)
+  kChar,        // a char literal (text is '', contents stripped)
+  kPunct,       // operator / punctuation; "::" and "->" are single tokens
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  std::size_t line = 0;  // 1-based source line
+};
+
+// #include "..." or #include <...>.
+struct IncludeDirective {
+  std::string path;      // include path as written
+  std::size_t line = 0;
+  bool system = false;   // <...> form
+};
+
+// #if / #ifdef / #ifndef / #elif / #else / #endif, surfaced so passes can
+// tell when a region is conditionally compiled.
+struct ConditionalDirective {
+  std::string kind;       // "if", "ifdef", "ifndef", "elif", "else", "endif"
+  std::string condition;  // the raw condition text ("" for else/endif)
+  std::size_t line = 0;
+};
+
+// True for identifier characters ([A-Za-z0-9_]).
+bool is_ident_char(char c);
+
+}  // namespace flotilla::analyze

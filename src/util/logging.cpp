@@ -66,8 +66,15 @@ void LogRegistry::emit(std::string_view component, LogLevel level,
                        std::string_view msg) {
   const std::string line =
       cat('[', to_string(level), "] ", component, ": ", msg);
-  std::lock_guard lock(mutex_);
-  sink_->write(line);
+  // Snapshot the sink and call it outside the registry lock: a sink that
+  // logs (or swaps the sink) from write() would otherwise deadlock. Sinks
+  // serialize their own writes.
+  std::shared_ptr<LogSink> sink;
+  {
+    std::lock_guard lock(mutex_);
+    sink = sink_;
+  }
+  sink->write(line);
 }
 
 FileSink::FileSink(const std::string& path)

@@ -1,0 +1,8 @@
+// Fixture: one half of an include cycle (both files live in the same
+// layer, so only arch-cycle fires, not arch-layering).
+#pragma once
+#include "core/cycle_b.hpp"
+
+namespace fixture {
+struct CycleA {};
+}  // namespace fixture

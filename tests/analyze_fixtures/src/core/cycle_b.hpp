@@ -1,0 +1,7 @@
+// Fixture: the other half of the include cycle.
+#pragma once
+#include "core/cycle_a.hpp"
+
+namespace fixture {
+struct CycleB {};
+}  // namespace fixture

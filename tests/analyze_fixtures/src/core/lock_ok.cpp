@@ -1,0 +1,56 @@
+// Fixture: the correct shapes the lock pass must NOT flag — the PR1 fix
+// (move the callback out under the lock, invoke after release), an
+// explicit unlock() before the call, a defer_lock guard that never
+// engages, and a deferred lambda declared under the lock but executed
+// later (a lambda body is independent: it does not run under the
+// enclosing guard).
+#include "core/pool.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace fixture {
+
+class Drain {
+ public:
+  void finish_outside(int id, int rc) {
+    Callback run;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = running_.find(id);
+      if (it == running_.end()) return;
+      run = std::move(it->second.done);
+      running_.erase(it);
+    }
+    run(rc);
+  }
+
+  void finish_unlocked(int rc) {
+    std::unique_lock<std::mutex> held(mu_);
+    Callback run = std::move(pending_);
+    held.unlock();
+    run(rc);
+  }
+
+  void queue_deferred(int rc) {
+    // The guard IS held here, but the lambda only runs later, outside it.
+    std::lock_guard<std::mutex> lock(mu_);
+    deferred_.push_back([this, rc] { pending_(rc); });
+  }
+
+  bool try_engage() {
+    std::unique_lock<std::mutex> idle(mu_, std::defer_lock);
+    return idle.owns_lock();
+  }
+
+ private:
+  struct Running {
+    Callback done;
+  };
+  std::mutex mu_;
+  Callback pending_;
+  std::map<int, Running> running_;
+  std::vector<std::function<void()>> deferred_;
+};
+
+}  // namespace fixture

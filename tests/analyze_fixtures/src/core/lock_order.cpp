@@ -1,0 +1,25 @@
+// Fixture: ABBA deadlock — submit_then_flush acquires queue_mu_ before
+// flush_mu_, flush_then_submit the reverse. Both nesting sites must be
+// reported as lock-order, each pointing at the opposite one.
+#include <mutex>
+
+namespace fixture {
+
+class Channels {
+ public:
+  void submit_then_flush() {
+    std::lock_guard<std::mutex> q(queue_mu_);
+    std::lock_guard<std::mutex> f(flush_mu_);
+  }
+
+  void flush_then_submit() {
+    std::lock_guard<std::mutex> f(flush_mu_);
+    std::lock_guard<std::mutex> q(queue_mu_);
+  }
+
+ private:
+  std::mutex queue_mu_;
+  std::mutex flush_mu_;
+};
+
+}  // namespace fixture

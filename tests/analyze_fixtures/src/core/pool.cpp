@@ -1,0 +1,31 @@
+// Fixture: the PR1 ProcessPool deadlock class, reintroduced on purpose.
+// finish() runs the completion callback while still holding mu_ — a
+// callback that resubmits re-enters Pool and deadlocks. The pass must
+// flag the member-callback call (line 16), the moved-callback call
+// (line 22), and the virtual dispatch (line 26).
+#include "core/pool.hpp"
+
+#include <utility>
+
+namespace fixture {
+
+void Pool::finish(int id, int rc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = running_.find(id);
+  if (it == running_.end()) return;
+  it->second.done(rc);
+}
+
+void Pool::submit(int id, Callback done) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_.count(id) != 0) {
+    std::move(done)(-1);
+    return;
+  }
+  running_[id].done = std::move(done);
+  on_drain();
+}
+
+void Pool::on_drain() {}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Fixture header: declarations the lock-discipline pass harvests from the
+// paired header — the std::function alias and the callback member mirror
+// the real local/process_pool API.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <map>
+
+namespace fixture {
+
+using Callback = std::function<void(int)>;
+
+class Pool {
+ public:
+  void submit(int id, Callback done);
+  void finish(int id, int rc);
+  virtual void on_drain();
+
+ private:
+  struct Running {
+    Callback done;
+  };
+  std::mutex mu_;
+  std::map<int, Running> running_;
+};
+
+}  // namespace fixture

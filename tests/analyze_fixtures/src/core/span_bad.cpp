@@ -1,0 +1,27 @@
+// Fixture: span-balance violation. submit() opens a kTaskSubmit span and
+// closes it at the end of the function, but the validation failure path
+// returns early in between — the span leaks and skews the overhead
+// report's per-category pairing.
+#include <cstdint>
+
+namespace fixture {
+
+enum class SpanType { kTaskSubmit, kTaskLaunch };
+
+struct Tracer {
+  void begin(SpanType type, std::uint64_t id);
+  void end(SpanType type, std::uint64_t id);
+};
+
+Tracer tracer;
+
+bool submit(std::uint64_t id, bool valid) {
+  tracer.begin(SpanType::kTaskSubmit, id);
+  if (!valid) {
+    return false;
+  }
+  tracer.end(SpanType::kTaskSubmit, id);
+  return true;
+}
+
+}  // namespace fixture

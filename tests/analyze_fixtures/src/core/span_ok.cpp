@@ -1,0 +1,42 @@
+// Fixture: span shapes the pass must NOT flag — an event-driven span
+// (begin here, end in the completion lambda), a return after the span is
+// closed, an end-only body (closing a span opened elsewhere), and two
+// distinct span types interleaved without leaks.
+#include <cstdint>
+#include <functional>
+
+namespace fixture {
+
+enum class SpanType { kTaskSubmit, kTaskLaunch };
+
+struct Tracer {
+  void begin(SpanType type, std::uint64_t id);
+  void end(SpanType type, std::uint64_t id);
+};
+
+Tracer tracer;
+std::function<void()> on_done;
+
+bool launch_async(std::uint64_t id, bool valid) {
+  tracer.begin(SpanType::kTaskLaunch, id);
+  if (!valid) {
+    return false;  // event-driven span: no lexical end in this body
+  }
+  on_done = [id] { tracer.end(SpanType::kTaskLaunch, id); };
+  return true;
+}
+
+bool submit_checked(std::uint64_t id, bool valid) {
+  tracer.begin(SpanType::kTaskSubmit, id);
+  tracer.end(SpanType::kTaskSubmit, id);
+  if (!valid) {
+    return false;  // after the span closed: fine
+  }
+  return true;
+}
+
+void close_elsewhere(std::uint64_t id) {
+  tracer.end(SpanType::kTaskSubmit, id);
+}
+
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Fixture: no layer prefix in layers.conf covers src/orphan/, so this
+// file must be reported as arch-unmapped.
+#pragma once
+
+namespace fixture {
+struct Orphan {};
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: architecture violation. sched sits below core in the declared
+// DAG (layers.conf), so this include must be reported as arch-layering.
+#include "core/pool.hpp"
+#include "util/helpers.hpp"
+
+namespace fixture {
+
+int schedule_width() { return clamp01(1); }
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: determinism violation in simulation scope — the ported
+// flotilla-lint rules must fire from the analyze pass registry too.
+#include <chrono>
+
+namespace fixture {
+
+long stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

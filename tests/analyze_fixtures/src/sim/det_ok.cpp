@@ -1,0 +1,18 @@
+// Fixture: determinism counter-example — the words below only appear in
+// comments and string literals, which the lexer strips, and the waived
+// call carries a well-formed FLOTILLA_LINT_ALLOW.
+// system_clock in a comment is fine; so is rand().
+#include <ctime>
+#include <string>
+
+namespace fixture {
+
+std::string describe() {
+  return "uses system_clock and sleep_for internally";
+}
+
+long run_started_epoch() {
+  return ::time(nullptr);  // FLOTILLA_LINT_ALLOW(wall-clock): run metadata only, never enters sim time
+}
+
+}  // namespace fixture

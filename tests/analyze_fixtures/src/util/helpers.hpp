@@ -1,0 +1,8 @@
+// Fixture: clean leaf-layer header; no pass should report anything here.
+#pragma once
+
+namespace fixture {
+
+inline int clamp01(int v) { return v < 0 ? 0 : (v > 1 ? 1 : v); }
+
+}  // namespace fixture

@@ -4,524 +4,51 @@
 // same event sequence and therefore the same metrics — the property the
 // paper's overhead characterization depends on. This tool enforces, as hard
 // errors, the source-level rules that protect it (see docs/correctness.md):
+// wall-clock, unseeded-random, hardware-concurrency, real-sleep, and
+// unordered-iteration.
 //
-//   wall-clock            no std::chrono::{system,steady,high_resolution}_clock,
-//                         time(), gettimeofday(), clock_gettime(), ... in
-//                         simulation code; simulated time comes from
-//                         sim::Engine::now().
-//   unseeded-random       no rand()/srand()/std::random_device/drand48();
-//                         randomness comes from seeded sim::RngStream.
-//   hardware-concurrency  no std::thread::hardware_concurrency(); worker
-//                         counts come from configuration, not the host.
-//   real-sleep            no sleep_for/sleep_until/usleep/nanosleep;
-//                         delays are simulated events.
-//   unordered-iteration   no range-for over a std::unordered_map/set
-//                         declared in the file (or its paired header);
-//                         hash order must not feed event ordering — iterate
-//                         util::sorted_keys() or use an ordered container.
-//
-// Deliberately token/regex-level (no libclang): it must build anywhere the
-// repo builds and run in milliseconds as a CI gate. Comments and string
-// literals are stripped before matching, so prose never trips it.
+// Since the flotilla-analyze framework landed, this binary is a thin
+// compatibility front-end: the rule bodies live in
+// src/analyze/determinism.cpp (on the real token stream, shared with
+// flotilla-analyze) and this file only reproduces the historical CLI —
+// same scope rules, same diagnostics, same exit codes — so existing
+// scripts, CI jobs, and the `lint` CMake target keep working unchanged.
 //
 // Scope: when given a directory, only simulation code is checked —
-// src/{sim,core,slurm,flux,prrte,platform,workloads}/ and
-// src/dragon/*_backend.* — because the real-threaded execution layer
-// legitimately touches the host (wall clocks for process runtimes, worker
-// threads). Files on the explicit allowlist (dragon/function_executor,
-// local/process_pool, util/logging) are never checked, even when named
-// directly. A single finding can be waived in place with
+// src/{sim,core,slurm,flux,prrte,platform,workloads,sched,check,obs,
+// analyze}/ and src/dragon/*_backend.* — because the real-threaded
+// execution layer legitimately touches the host. Files on the explicit
+// allowlist (dragon/function_executor, local/process_pool, util/logging)
+// are never checked, even when named directly. A single finding can be
+// waived in place with
 //   // FLOTILLA_LINT_ALLOW(rule-id): reason
 // on the offending line; the reason is mandatory.
 //
 // Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
 
 #include <algorithm>
-#include <cctype>
-#include <cstddef>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <set>
-#include <sstream>
 #include <string>
-#include <tuple>
 #include <vector>
 
+#include "analyze/determinism.hpp"
+#include "analyze/driver.hpp"
+#include "analyze/sarif.hpp"
+
 namespace fs = std::filesystem;
+namespace fa = flotilla::analyze;
 
 namespace {
 
-struct Diagnostic {
-  std::string file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-// ---------------------------------------------------------------------------
-// Scope / allowlist
-// ---------------------------------------------------------------------------
-
-// Normalize to forward slashes so matching works on any platform.
-std::string normalized(const fs::path& path) {
-  std::string out = path.generic_string();
-  return out;
-}
-
-// Real-threaded execution layer: exempt from determinism rules by design.
-const char* const kAllowlist[] = {
-    "dragon/function_executor",
-    "local/process_pool",
-    "util/logging",
-};
-
-bool allowlisted(const std::string& path) {
-  for (const char* entry : kAllowlist) {
-    if (path.find(entry) != std::string::npos) return true;
-  }
-  return false;
-}
-
-// Directories whose code is simulation code (checked when scanning a tree).
-const char* const kScopedDirs[] = {
-    "src/sim/",   "src/core/",     "src/slurm/",     "src/flux/",
-    "src/prrte/", "src/platform/", "src/workloads/", "src/sched/",
-    "src/check/", "src/obs/",
-};
-
-bool in_scope(const std::string& path) {
-  for (const char* dir : kScopedDirs) {
-    if (path.find(dir) != std::string::npos) return true;
-  }
-  // Dragon is split: the simulated backend is scoped, the threaded
-  // executor/queue/channel layer is not.
-  if (path.find("src/dragon/") != std::string::npos) {
-    const auto slash = path.rfind('/');
-    const std::string base =
-        slash == std::string::npos ? path : path.substr(slash + 1);
-    return base.find("_backend.") != std::string::npos;
-  }
-  return false;
-}
-
 bool lintable_extension(const fs::path& path) {
-  static const std::set<std::string> kExts = {".cpp", ".cc", ".cxx",
-                                              ".hpp", ".h",  ".hh", ".ipp"};
-  return kExts.count(path.extension().string()) > 0;
-}
-
-// ---------------------------------------------------------------------------
-// Comment / literal stripping
-// ---------------------------------------------------------------------------
-
-// Replaces comments and string/char literal contents with spaces, keeping
-// every newline so line numbers survive. Handles // and /* */ comments,
-// "..." and '...' literals with escapes, and R"delim(...)delim" raw strings.
-std::string strip_comments_and_literals(const std::string& src) {
-  std::string out = src;
-  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
-  State state = State::kCode;
-  std::string raw_delim;
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLine;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlock;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || !is_ident_char(src[i - 1]))) {
-          // Raw string: R"delim( ... )delim"
-          std::size_t open = src.find('(', i + 2);
-          if (open == std::string::npos) break;
-          raw_delim = ")" + src.substr(i + 2, open - i - 2) + "\"";
-          for (std::size_t j = i; j <= open && j < src.size(); ++j) {
-            if (src[j] != '\n') out[j] = ' ';
-          }
-          i = open;
-          state = State::kRaw;
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'' && !(i > 0 && std::isdigit(static_cast<unsigned char>(
-                                               src[i - 1])))) {
-          // (digit separators like 1'000'000 are not char literals)
-          state = State::kChar;
-        }
-        break;
-      case State::kLine:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlock:
-        if (c == '*' && next == '/') {
-          out[i] = out[i + 1] = ' ';
-          state = State::kCode;
-          ++i;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (i + 1 < src.size() && src[i + 1] != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (i + 1 < src.size() && src[i + 1] != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kRaw:
-        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (std::size_t j = i; j < i + raw_delim.size(); ++j) out[j] = ' ';
-          i += raw_delim.size() - 1;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-std::size_t line_of(const std::string& text, std::size_t pos) {
-  return 1 + static_cast<std::size_t>(
-                 std::count(text.begin(), text.begin() + static_cast<long>(pos),
-                            '\n'));
-}
-
-// ---------------------------------------------------------------------------
-// Token rules
-// ---------------------------------------------------------------------------
-
-struct TokenRule {
-  const char* rule;     // diagnostic id
-  const char* token;    // identifier to find (boundary-checked)
-  bool call_only;       // require '(' after the token, and reject member calls
-  const char* message;
-};
-
-const TokenRule kTokenRules[] = {
-    {"wall-clock", "system_clock", false,
-     "wall-clock time in simulation code breaks determinism; use "
-     "sim::Engine::now()"},
-    {"wall-clock", "steady_clock", false,
-     "wall-clock time in simulation code breaks determinism; use "
-     "sim::Engine::now()"},
-    {"wall-clock", "high_resolution_clock", false,
-     "wall-clock time in simulation code breaks determinism; use "
-     "sim::Engine::now()"},
-    {"wall-clock", "gettimeofday", true,
-     "wall-clock time in simulation code breaks determinism; use "
-     "sim::Engine::now()"},
-    {"wall-clock", "clock_gettime", true,
-     "wall-clock time in simulation code breaks determinism; use "
-     "sim::Engine::now()"},
-    {"wall-clock", "timespec_get", true,
-     "wall-clock time in simulation code breaks determinism; use "
-     "sim::Engine::now()"},
-    {"wall-clock", "time", true,
-     "wall-clock time in simulation code breaks determinism; use "
-     "sim::Engine::now()"},
-    {"wall-clock", "localtime", true,
-     "wall-clock time in simulation code breaks determinism; use "
-     "sim::Engine::now()"},
-    {"wall-clock", "gmtime", true,
-     "wall-clock time in simulation code breaks determinism; use "
-     "sim::Engine::now()"},
-    {"unseeded-random", "random_device", false,
-     "nondeterministic randomness in simulation code; draw from a seeded "
-     "sim::RngStream"},
-    {"unseeded-random", "rand", true,
-     "nondeterministic randomness in simulation code; draw from a seeded "
-     "sim::RngStream"},
-    {"unseeded-random", "srand", true,
-     "nondeterministic randomness in simulation code; draw from a seeded "
-     "sim::RngStream"},
-    {"unseeded-random", "drand48", true,
-     "nondeterministic randomness in simulation code; draw from a seeded "
-     "sim::RngStream"},
-    {"unseeded-random", "lrand48", true,
-     "nondeterministic randomness in simulation code; draw from a seeded "
-     "sim::RngStream"},
-    {"unseeded-random", "srandom", true,
-     "nondeterministic randomness in simulation code; draw from a seeded "
-     "sim::RngStream"},
-    {"hardware-concurrency", "hardware_concurrency", false,
-     "host-dependent concurrency breaks reproducibility; take worker counts "
-     "from configuration"},
-    {"real-sleep", "sleep_for", true,
-     "real sleeping in simulation code; model delays as simulated events"},
-    {"real-sleep", "sleep_until", true,
-     "real sleeping in simulation code; model delays as simulated events"},
-    {"real-sleep", "usleep", true,
-     "real sleeping in simulation code; model delays as simulated events"},
-    {"real-sleep", "nanosleep", true,
-     "real sleeping in simulation code; model delays as simulated events"},
-};
-
-// True when code[pos..] starts the identifier `token` on a word boundary.
-bool matches_token(const std::string& code, std::size_t pos,
-                   const TokenRule& rule) {
-  const std::size_t len = std::string::traits_type::length(rule.token);
-  if (pos > 0 && is_ident_char(code[pos - 1])) return false;
-  if (pos + len < code.size() && is_ident_char(code[pos + len])) return false;
-  if (!rule.call_only) return true;
-  // Call form: reject member calls (x.time(), x->time()) which are usually
-  // project APIs, accept free and qualified calls (time(), std::time()).
-  if (pos >= 1 && code[pos - 1] == '.') return false;
-  if (pos >= 2 && code[pos - 2] == '-' && code[pos - 1] == '>') return false;
-  std::size_t after = pos + len;
-  while (after < code.size() &&
-         std::isspace(static_cast<unsigned char>(code[after]))) {
-    ++after;
-  }
-  return after < code.size() && code[after] == '(';
-}
-
-// ---------------------------------------------------------------------------
-// unordered-iteration rule
-// ---------------------------------------------------------------------------
-
-// Collects names declared with std::unordered_{map,set,multimap,multiset}.
-void collect_unordered_decls(const std::string& code,
-                             std::set<std::string>* names) {
-  static const char* const kContainers[] = {
-      "unordered_map", "unordered_set", "unordered_multimap",
-      "unordered_multiset"};
-  for (const char* container : kContainers) {
-    const std::size_t token_len = std::string::traits_type::length(container);
-    std::size_t pos = 0;
-    while ((pos = code.find(container, pos)) != std::string::npos) {
-      const std::size_t start = pos;
-      pos += token_len;
-      if (start > 0 && is_ident_char(code[start - 1])) continue;
-      if (pos >= code.size() || code[pos] != '<') continue;
-      // Balance the template argument list.
-      int depth = 0;
-      std::size_t i = pos;
-      for (; i < code.size(); ++i) {
-        if (code[i] == '<') ++depth;
-        if (code[i] == '>' && --depth == 0) break;
-      }
-      if (i >= code.size()) continue;
-      ++i;  // past '>'
-      while (i < code.size() &&
-             std::isspace(static_cast<unsigned char>(code[i]))) {
-        ++i;
-      }
-      if (code.compare(i, 2, "::") == 0) continue;  // ::iterator etc.
-      while (i < code.size() && (code[i] == '&' || code[i] == '*')) ++i;
-      while (i < code.size() &&
-             std::isspace(static_cast<unsigned char>(code[i]))) {
-        ++i;
-      }
-      std::size_t name_begin = i;
-      while (i < code.size() && is_ident_char(code[i])) ++i;
-      if (i == name_begin) continue;
-      const std::string name = code.substr(name_begin, i - name_begin);
-      while (i < code.size() &&
-             std::isspace(static_cast<unsigned char>(code[i]))) {
-        ++i;
-      }
-      // Declarator endings: member/local (;, =, {), parameter (,, )).
-      if (i < code.size() && (code[i] == ';' || code[i] == '=' ||
-                              code[i] == '{' || code[i] == ',' ||
-                              code[i] == ')')) {
-        names->insert(name);
-      }
-    }
-  }
-}
-
-// Final identifier component of a range expression ("a.b->c_" -> "c_"),
-// or empty when the expression is not a plain member/variable chain.
-std::string trailing_identifier(std::string expr) {
-  while (!expr.empty() &&
-         std::isspace(static_cast<unsigned char>(expr.back()))) {
-    expr.pop_back();
-  }
-  if (expr.empty() || !is_ident_char(expr.back())) return {};
-  std::size_t begin = expr.size();
-  while (begin > 0 && is_ident_char(expr[begin - 1])) --begin;
-  return expr.substr(begin);
-}
-
-void check_unordered_iteration(const std::string& path,
-                               const std::string& code,
-                               const std::set<std::string>& unordered_names,
-                               std::vector<Diagnostic>* diags) {
-  std::size_t pos = 0;
-  while ((pos = code.find("for", pos)) != std::string::npos) {
-    const std::size_t start = pos;
-    pos += 3;
-    if (start > 0 && is_ident_char(code[start - 1])) continue;
-    if (pos < code.size() && is_ident_char(code[pos])) continue;
-    std::size_t open = pos;
-    while (open < code.size() &&
-           std::isspace(static_cast<unsigned char>(code[open]))) {
-      ++open;
-    }
-    if (open >= code.size() || code[open] != '(') continue;
-    // Find the matching ')' and the top-level ':' (range-for separator).
-    int depth = 0;
-    std::size_t colon = std::string::npos;
-    std::size_t close = std::string::npos;
-    bool classic_for = false;
-    for (std::size_t i = open; i < code.size(); ++i) {
-      const char c = code[i];
-      if (c == '(' || c == '[' || c == '{') ++depth;
-      if (c == ')' || c == ']' || c == '}') {
-        --depth;
-        if (depth == 0 && c == ')') {
-          close = i;
-          break;
-        }
-      }
-      if (depth == 1 && colon == std::string::npos) {
-        if (c == ';') {
-          classic_for = true;  // init-statement: not a range-for
-          break;
-        }
-        if (c == ':' && (i == 0 || code[i - 1] != ':') &&
-            (i + 1 >= code.size() || code[i + 1] != ':')) {
-          colon = i;
-        }
-      }
-    }
-    if (classic_for || colon == std::string::npos ||
-        close == std::string::npos) {
-      continue;
-    }
-    const std::string range_expr =
-        code.substr(colon + 1, close - colon - 1);
-    std::string victim;
-    if (range_expr.find("unordered_") != std::string::npos) {
-      victim = "<unordered container expression>";
-    } else {
-      const std::string name = trailing_identifier(range_expr);
-      if (!name.empty() && unordered_names.count(name) > 0) victim = name;
-    }
-    if (!victim.empty()) {
-      diags->push_back(
-          {path, line_of(code, start), "unordered-iteration",
-           "iteration over unordered container '" + victim +
-               "' can feed event ordering; iterate util::sorted_keys() or "
-               "use an ordered container"});
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Per-file driver
-// ---------------------------------------------------------------------------
-
-bool read_file(const fs::path& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  *out = buffer.str();
-  return true;
-}
-
-// A waiver comment on the diagnostic's line: FLOTILLA_LINT_ALLOW(rule): why
-bool waived(const std::string& raw, std::size_t line, const std::string& rule) {
-  std::size_t begin = 0;
-  for (std::size_t n = 1; n < line; ++n) {
-    begin = raw.find('\n', begin);
-    if (begin == std::string::npos) return false;
-    ++begin;
-  }
-  std::size_t end = raw.find('\n', begin);
-  const std::string text = raw.substr(
-      begin, end == std::string::npos ? std::string::npos : end - begin);
-  const std::string tag = "FLOTILLA_LINT_ALLOW(";
-  const std::size_t at = text.find(tag);
-  if (at == std::string::npos) return false;
-  const std::size_t close = text.find(')', at);
-  if (close == std::string::npos) return false;
-  const std::string id = text.substr(at + tag.size(), close - at - tag.size());
-  if (id != rule && id != "*") return false;
-  // The reason is mandatory: require ": <text>" after the closing paren.
-  std::size_t reason = close + 1;
-  if (reason >= text.size() || text[reason] != ':') return false;
-  ++reason;
-  while (reason < text.size() &&
-         std::isspace(static_cast<unsigned char>(text[reason]))) {
-    ++reason;
-  }
-  return reason < text.size();
-}
-
-void lint_file(const fs::path& path, std::vector<Diagnostic>* diags) {
-  std::string raw;
-  if (!read_file(path, &raw)) {
-    std::cerr << "flotilla-lint: cannot read " << path << "\n";
-    std::exit(2);
-  }
-  const std::string code = strip_comments_and_literals(raw);
-  const std::string display = normalized(path);
-
-  std::vector<Diagnostic> found;
-  for (const TokenRule& rule : kTokenRules) {
-    std::size_t pos = 0;
-    while ((pos = code.find(rule.token, pos)) != std::string::npos) {
-      if (matches_token(code, pos, rule)) {
-        found.push_back({display, line_of(code, pos), rule.rule, rule.message});
-      }
-      pos += std::string::traits_type::length(rule.token);
-    }
-  }
-
-  std::set<std::string> unordered_names;
-  collect_unordered_decls(code, &unordered_names);
-  // Members are usually declared in the paired header.
+  static const char* const kExts[] = {".cpp", ".cc", ".cxx", ".hpp",
+                                      ".h",   ".hh", ".ipp"};
   const std::string ext = path.extension().string();
-  if (ext == ".cpp" || ext == ".cc" || ext == ".cxx") {
-    for (const char* header_ext : {".hpp", ".h", ".hh"}) {
-      fs::path header = path;
-      header.replace_extension(header_ext);
-      std::string header_raw;
-      if (fs::exists(header) && read_file(header, &header_raw)) {
-        collect_unordered_decls(strip_comments_and_literals(header_raw),
-                                &unordered_names);
-        break;
-      }
-    }
+  for (const char* e : kExts) {
+    if (ext == e) return true;
   }
-  check_unordered_iteration(display, code, unordered_names, &found);
-
-  for (Diagnostic& diag : found) {
-    if (!waived(raw, diag.line, diag.rule)) diags->push_back(std::move(diag));
-  }
+  return false;
 }
 
 void usage() {
@@ -539,9 +66,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
-      std::set<std::string> rules{"unordered-iteration"};
-      for (const TokenRule& rule : kTokenRules) rules.insert(rule.rule);
-      for (const auto& rule : rules) std::cout << rule << "\n";
+      for (const std::string& rule : fa::DeterminismPass().rules()) {
+        std::cout << rule << "\n";
+      }
       return 0;
     }
     if (arg == "-h" || arg == "--help") {
@@ -559,37 +86,55 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<fs::path> files;
+  // Historical collection semantics: directory scans apply the simulation
+  // scope and allowlist; explicit files bypass the scope (naming a file is
+  // an instruction to check it) but never the allowlist.
+  std::vector<std::string> files;
   for (const fs::path& root : roots) {
     if (fs::is_directory(root)) {
       for (const auto& entry : fs::recursive_directory_iterator(root)) {
         if (!entry.is_regular_file()) continue;
         if (!lintable_extension(entry.path())) continue;
-        const std::string path = normalized(entry.path());
-        if (in_scope(path) && !allowlisted(path)) {
-          files.push_back(entry.path());
+        const std::string path = entry.path().generic_string();
+        if (fa::determinism_in_scope(path) &&
+            !fa::determinism_allowlisted(path)) {
+          files.push_back(path);
         }
       }
     } else if (fs::is_regular_file(root)) {
-      if (!allowlisted(normalized(root))) files.push_back(root);
+      const std::string path = root.generic_string();
+      if (!fa::determinism_allowlisted(path)) files.push_back(path);
     } else {
       std::cerr << "flotilla-lint: no such path: " << root << "\n";
       return 2;
     }
   }
   std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  std::vector<Diagnostic> diags;
-  for (const fs::path& file : files) lint_file(file, &diags);
-  std::sort(diags.begin(), diags.end(), [](const auto& a, const auto& b) {
-    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
-  });
-
-  for (const Diagnostic& diag : diags) {
-    std::cout << diag.file << ":" << diag.line << ": error: [" << diag.rule
-              << "] " << diag.message << "\n";
+  fa::AnalysisInput input;
+  input.files.reserve(files.size());
+  for (const std::string& path : files) {
+    fa::SourceFile file;
+    std::string error;
+    if (!fa::load_source(path, path, &file, &error)) {
+      std::cerr << "flotilla-lint: cannot read " << path << "\n";
+      return 2;
+    }
+    input.files.push_back(std::move(file));
   }
-  std::cerr << "flotilla-lint: " << files.size() << " file(s) checked, "
-            << diags.size() << " issue(s)\n";
-  return diags.empty() ? 0 : 1;
+
+  std::vector<fa::Finding> findings;
+  for (const fa::SourceFile& file : input.files) {
+    fa::DeterminismPass::check_file(file, &findings);
+  }
+  fa::filter_waived(input, &findings);
+  std::sort(findings.begin(), findings.end());
+  findings.erase(std::unique(findings.begin(), findings.end()),
+                 findings.end());
+
+  fa::write_text(std::cout, findings);
+  std::cerr << "flotilla-lint: " << input.files.size()
+            << " file(s) checked, " << findings.size() << " issue(s)\n";
+  return findings.empty() ? 0 : 1;
 }
