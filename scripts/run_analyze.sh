@@ -3,10 +3,12 @@
 # against the committed layer DAG (analyze/layers.conf) and baseline
 # (analyze/baseline.txt). Usage:
 #
-#   scripts/run_analyze.sh [build-dir] [sarif-output]
+#   scripts/run_analyze.sh [build-dir] [sarif-output] [shared-state-report]
 #
 # Builds the tool if needed, writes the SARIF report (default
-# flotilla-analyze.sarif, what CI uploads), and exits non-zero on any
+# flotilla-analyze.sarif, what CI uploads) plus the shared-state
+# inventory (default flotilla-analyze-shared-state.txt, the gating input
+# to the ROADMAP 1 sharding refactor), and exits non-zero on any
 # finding that is neither waived in source nor grandfathered in the
 # baseline — which is how CI gates on it. To accept a finding instead of
 # fixing it:
@@ -19,6 +21,7 @@ set -euo pipefail
 
 build_dir=${1:-build}
 sarif_out=${2:-flotilla-analyze.sarif}
+report_out=${3:-flotilla-analyze-shared-state.txt}
 
 cd "$(dirname "$0")/.."
 
@@ -33,9 +36,16 @@ analyze="$build_dir/tools/flotilla-analyze"
 
 # SARIF for the artifact upload (exit code deferred to the gating run:
 # the SARIF run reports suppressed results too, so it shares the same
-# fresh-findings exit status).
+# fresh-findings exit status). The same run writes the shared-state
+# inventory CI uploads alongside it.
 "$analyze" --baseline analyze/baseline.txt --sarif --output "$sarif_out" \
-  || true
+  --shared-state-report "$report_out" || true
 
-# Human-readable gate: prints fresh findings and fails on them.
-exec "$analyze" --baseline analyze/baseline.txt
+# Human-readable gate: prints fresh findings and fails on them. Timed so
+# CI logs show analyzer cost as the tree grows.
+start_ms=$(date +%s%3N)
+status=0
+"$analyze" --baseline analyze/baseline.txt || status=$?
+end_ms=$(date +%s%3N)
+echo "run_analyze: gate finished in $((end_ms - start_ms)) ms" >&2
+exit "$status"

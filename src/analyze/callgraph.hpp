@@ -1,0 +1,112 @@
+// Whole-program call graph and bottom-up function summaries
+// (docs/correctness.md, "Interprocedural analysis").
+//
+// Phase two of the two-phase driver: the per-file facts
+// (analyze/facts.hpp) are linked into a ProgramModel — every function
+// definition becomes a node, every call-shaped site is resolved to a
+// candidate callee set by qualified name, and per-function summaries
+// (mutexes acquired, blocking calls, nondeterminism sources) are
+// propagated bottom-up to a fixpoint. The interprocedural passes
+// (analyze/ipc.hpp) consume the model read-only.
+//
+// Resolution is deliberately an over-approximation:
+//   - unqualified free calls try, in order: methods of the caller's own
+//     class, free functions in the same file, then any function of that
+//     name anywhere;
+//   - member calls (x.f(), this->f()) match every function named f that
+//     is defined inside some class (filtered to the caller's class for
+//     `this->`);
+//   - names harvested as virtual methods add every same-named definition
+//     (dynamic dispatch can land in any override);
+//   - calls through callback variables (the `*Callback`/std::function
+//     harvest the lock pass uses) resolve to no direct edge; they mark
+//     the caller as a callback invoker, and shared-state reachability
+//     treats every lambda and address-taken function as a possible
+//     target.
+//
+// Mutex identity: guard mutex names ending in '_' are member fields and
+// are qualified with the acquiring function's class ("Engine::mu_"), so
+// same-named fields of different classes never alias. Bare names (locals,
+// globals) stay raw.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analyze/facts.hpp"
+#include "analyze/pass.hpp"
+
+namespace flotilla::analyze {
+
+// Where a summary entry came from: directly from the function's own body
+// (via < 0, line = source line), or from a callee (via = callee function
+// id, line = line of the call site). Chains are reconstructed by
+// following `via` through the callee's summary.
+struct Origin {
+  int via = -1;
+  std::size_t line = 0;
+};
+
+// Transitive effects of calling a function, after fixpoint propagation.
+struct FunctionSummary {
+  std::map<std::string, Origin> mutexes;   // qualified mutex -> acquisition
+  std::map<std::string, Origin> blocking;  // blocking callee name -> origin
+  std::map<std::string, Origin> nondet;    // taint rule -> origin
+  bool invokes_callback = false;           // calls through a callback var
+  std::vector<WriteFact> writes;           // direct writes only
+};
+
+struct FunctionNode {
+  int id = -1;
+  int file_index = -1;        // into AnalysisInput::files
+  FunctionDef def;
+  std::string display_file;   // files[file_index].display
+};
+
+// A call-shaped site after resolution.
+struct ResolvedCall {
+  int caller = -1;            // function id, -1 when at namespace scope
+  int file_index = -1;
+  std::size_t token = 0;      // index of the name token in its file
+  std::size_t line = 0;
+  std::string name;
+  bool callback = false;      // through a callback variable; callees empty
+  std::vector<int> callees;   // candidate function ids (direct + virtual)
+  std::vector<std::string> held;  // qualified mutexes held at the site
+};
+
+struct ProgramModel {
+  std::vector<FunctionNode> functions;
+  std::vector<FunctionSummary> summaries;  // parallel to functions
+  std::vector<std::vector<int>> callees;   // union of edges per function
+  std::vector<ResolvedCall> calls;
+  // Possible targets of a callback invocation: every lambda plus every
+  // address-taken function. Used for shared-state reachability only.
+  std::vector<int> callback_targets;
+  // Program-wide declaration harvest (callback vars, virtual methods).
+  DeclHarvest merged;
+
+  // Functions named `name` (last component), ids in ascending order.
+  const std::vector<int>* by_name(const std::string& name) const;
+
+  // Human-readable via-trail for a summary entry of `fn`, e.g.
+  // " (via 'flush' -> 'append')"; empty for direct entries. `pick`
+  // selects the map: &FunctionSummary::mutexes etc.
+  std::string trail(int fn,
+                    std::map<std::string, Origin> FunctionSummary::*pick,
+                    const std::string& key) const;
+
+  std::map<std::string, std::vector<int>> name_index;
+};
+
+// Qualifies a raw guard-argument mutex name with the acquiring class:
+// trailing-underscore names are member fields.
+std::string qualify_mutex(const std::string& raw,
+                          const std::string& class_ctx);
+
+// Links facts across files and runs summary propagation to a fixpoint.
+ProgramModel build_program(const AnalysisInput& input);
+
+}  // namespace flotilla::analyze

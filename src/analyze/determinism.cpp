@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <string_view>
 
 namespace flotilla::analyze {
 
@@ -182,6 +183,20 @@ void check_unordered_iteration(const SourceFile& file,
 }
 
 }  // namespace
+
+const char* nondet_source_rule(const std::vector<Token>& toks,
+                               std::size_t i) {
+  if (!is_ident(toks[i])) return nullptr;
+  for (const TokenRule& rule : kTokenRules) {
+    if (toks[i].text != rule.token) continue;
+    const bool wall = std::string_view(rule.rule) == "wall-clock";
+    const bool random = std::string_view(rule.rule) == "unseeded-random";
+    if (!wall && !random) continue;
+    if (rule.call_only && !call_form_ok(toks, i)) continue;
+    return rule.rule;
+  }
+  return nullptr;
+}
 
 bool determinism_in_scope(const std::string& path) {
   for (const char* dir : kScopedDirs) {

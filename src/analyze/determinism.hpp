@@ -30,6 +30,15 @@ bool determinism_in_scope(const std::string& path);
 // Real-threaded execution layer, exempt even when named explicitly.
 bool determinism_allowlisted(const std::string& path);
 
+// Classifies toks[i] as an interprocedural taint source: returns
+// "wall-clock" or "unseeded-random" when the token (with the same
+// call-form requirements the rules above apply) reads host time or
+// unseeded entropy, nullptr otherwise. Used by the facts collector
+// (analyze/facts.hpp) so ipc-determinism shares one source table with
+// this pass.
+const char* nondet_source_rule(const std::vector<Token>& toks,
+                               std::size_t i);
+
 class DeterminismPass : public Pass {
  public:
   std::string_view name() const override { return "determinism"; }

@@ -1,14 +1,19 @@
 #include "analyze/driver.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <ostream>
 #include <set>
+#include <thread>
 
 #include "analyze/baseline.hpp"
+#include "analyze/callgraph.hpp"
 #include "analyze/determinism.hpp"
+#include "analyze/ipc.hpp"
+#include "analyze/rules.hpp"
 #include "analyze/sarif.hpp"
 
 namespace fs = std::filesystem;
@@ -92,6 +97,7 @@ bool load_source(const std::string& path, const std::string& display,
       }
     }
   }
+  out->facts = collect_facts(out->lex, out->bodies, out->paired_header.get());
   return true;
 }
 
@@ -120,35 +126,96 @@ int run_driver(const DriverOptions& options, const PassRegistry& registry,
     return 2;
   }
 
-  AnalysisInput input;
-  input.files.reserve(paths.size());
-  for (const std::string& path : paths) {
-    std::string display = path;
-    if (!options.strip_prefix.empty() &&
-        display.compare(0, options.strip_prefix.size(),
-                        options.strip_prefix) == 0) {
-      display = display.substr(options.strip_prefix.size());
+  // Phase one: load every file (lex + bodies + facts). Each load is
+  // independent, so a --jobs pool splits the list; results land in
+  // pre-sized slots by index, making the output identical for any job
+  // count.
+  unsigned jobs = options.jobs;
+  if (jobs == 0) {
+    // Host tooling, not simulation code: the job count cannot affect output.
+    jobs = std::thread::
+        hardware_concurrency();  // FLOTILLA_LINT_ALLOW(hardware-concurrency): host tooling, output is jobs-invariant
+  }
+  if (jobs == 0) jobs = 1;
+  if (paths.size() < jobs) jobs = paths.empty() ? 1 : paths.size();
+
+  std::vector<SourceFile> files(paths.size());
+  std::vector<std::string> errors(paths.size());
+  std::atomic<std::size_t> next{0};
+  auto load_worker = [&] {
+    for (std::size_t i; (i = next.fetch_add(1)) < paths.size();) {
+      std::string display = paths[i];
+      if (!options.strip_prefix.empty() &&
+          display.compare(0, options.strip_prefix.size(),
+                          options.strip_prefix) == 0) {
+        display = display.substr(options.strip_prefix.size());
+      }
+      load_source(paths[i], display, &files[i], &errors[i]);
     }
-    SourceFile file;
-    if (!load_source(path, display, &file, &error)) {
-      err << "flotilla-analyze: error: " << error << "\n";
+  };
+  if (jobs <= 1) {
+    load_worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(load_worker);
+    for (std::thread& t : pool) t.join();
+  }
+  for (const std::string& load_error : errors) {
+    if (!load_error.empty()) {
+      err << "flotilla-analyze: error: " << load_error << "\n";
       return 2;
     }
-    input.files.push_back(std::move(file));
   }
+
+  AnalysisInput input;
+  input.files = std::move(files);
   std::sort(input.files.begin(), input.files.end(),
             [](const SourceFile& a, const SourceFile& b) {
               return a.display < b.display;
             });
 
-  std::vector<Finding> findings;
+  // Phase two: link the per-file facts into the whole-program model the
+  // interprocedural passes consume.
+  input.program = std::make_shared<const ProgramModel>(build_program(input));
+
+  std::vector<Finding> all;
   for (const auto& pass : registry.passes()) {
-    pass->run(input, &findings);
+    pass->run(input, &all);
   }
-  filter_waived(input, &findings);
-  std::sort(findings.begin(), findings.end());
-  findings.erase(std::unique(findings.begin(), findings.end()),
-                 findings.end());
+  filter_waived(input, &all);
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+
+  // Severity split: kError findings gate the run and live in the
+  // baseline; kNote findings (the shared-state inventory) only appear in
+  // SARIF and reports.
+  std::vector<Finding> findings;
+  std::size_t notes = 0;
+  for (const Finding& f : all) {
+    if (rule_severity(f.rule) == Severity::kError) {
+      findings.push_back(f);
+    } else {
+      ++notes;
+    }
+  }
+
+  if (!options.shared_state_report_path.empty()) {
+    std::ofstream report(options.shared_state_report_path,
+                         std::ios::binary | std::ios::trunc);
+    if (!report) {
+      err << "flotilla-analyze: error: "
+          << options.shared_state_report_path
+          << ": cannot open for writing\n";
+      return 2;
+    }
+    write_shared_state_report(collect_shared_state(input), report);
+    if (!report.flush()) {
+      err << "flotilla-analyze: error: "
+          << options.shared_state_report_path << ": write failed\n";
+      return 2;
+    }
+  }
 
   if (options.write_baseline) {
     if (options.baseline_path.empty()) {
@@ -199,9 +266,11 @@ int run_driver(const DriverOptions& options, const PassRegistry& registry,
     std::sort(rule_ids.begin(), rule_ids.end());
     rule_ids.erase(std::unique(rule_ids.begin(), rule_ids.end()),
                    rule_ids.end());
+    // SARIF carries every finding, notes included; only kError results
+    // can be baseline-suppressed (notes never enter the baseline).
     std::vector<SarifResult> results;
-    results.reserve(findings.size());
-    for (const Finding& f : findings) {
+    results.reserve(all.size());
+    for (const Finding& f : all) {
       results.push_back({f, baseline.count(f) > 0});
     }
     write_sarif(*sink, "flotilla-analyze", rule_ids, results);
@@ -221,6 +290,9 @@ int run_driver(const DriverOptions& options, const PassRegistry& registry,
       << fresh.size() << " finding(s)";
   if (!baseline.empty()) {
     err << " (" << findings.size() - fresh.size() << " baselined)";
+  }
+  if (notes > 0) {
+    err << ", " << notes << " note(s)";
   }
   err << "\n";
   return fresh.empty() ? 0 : 1;

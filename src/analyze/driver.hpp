@@ -42,6 +42,13 @@ struct DriverOptions {
   bool write_baseline = false;  // regenerate baseline_path and exit 0
   bool sarif = false;           // SARIF 2.1.0 instead of text findings
   std::string output_path;      // "" = stdout
+  // File-loading worker threads; 0 = one per hardware thread. Output is
+  // byte-identical for every value: loads land in per-path slots and all
+  // analysis runs after the pool joins.
+  unsigned jobs = 0;
+  // When set, the shared-state inventory (analyze/ipc.hpp) is written
+  // here in addition to the normal report.
+  std::string shared_state_report_path;
 };
 
 // Runs every registered pass and reports. Returns the process exit code:

@@ -1,0 +1,146 @@
+#include "analyze/guards.hpp"
+
+namespace flotilla::analyze {
+
+namespace {
+
+bool is_ident(const Token& t) { return t.kind == TokenKind::kIdentifier; }
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+bool is_lock_tag(const std::string& t) {
+  return t == "adopt_lock" || t == "defer_lock" || t == "try_to_lock";
+}
+
+}  // namespace
+
+std::size_t skip_angles(const std::vector<Token>& toks, std::size_t i) {
+  if (i >= toks.size() || !is_punct(toks[i], "<")) return i;
+  int depth = 0;
+  for (std::size_t j = i; j < toks.size(); ++j) {
+    if (is_punct(toks[j], "<")) ++depth;
+    if (is_punct(toks[j], ">") && --depth == 0) return j + 1;
+    if (is_punct(toks[j], ";")) break;  // malformed; bail out
+  }
+  return i;
+}
+
+void parse_guard_args(const std::vector<Token>& toks, std::size_t open,
+                      std::vector<std::string>* mutexes, bool* deferred) {
+  const char* close_text = is_punct(toks[open], "{") ? "}" : ")";
+  int depth = 0;
+  std::string last_ident;
+  for (std::size_t j = open; j < toks.size(); ++j) {
+    const Token& t = toks[j];
+    if (is_punct(t, "(") || is_punct(t, "{") || is_punct(t, "[")) ++depth;
+    if (is_punct(t, ")") || is_punct(t, "}") || is_punct(t, "]")) {
+      --depth;
+      if (depth == 0 && t.text == std::string(close_text)) {
+        if (!last_ident.empty()) mutexes->push_back(last_ident);
+        return;
+      }
+    }
+    if (depth == 1 && is_punct(t, ",")) {
+      if (!last_ident.empty()) mutexes->push_back(last_ident);
+      last_ident.clear();
+      continue;
+    }
+    if (is_ident(t)) {
+      if (is_lock_tag(t.text)) {
+        if (t.text == "defer_lock") *deferred = true;
+        last_ident.clear();
+      } else if (t.text != "std") {
+        last_ident = t.text;
+      }
+    }
+  }
+}
+
+bool GuardWalker::step(std::size_t* index) {
+  const std::size_t i = *index;
+  const Token& tok = toks_[i];
+  if (is_punct(tok, "{")) {
+    ++depth_;
+    return true;
+  }
+  if (is_punct(tok, "}")) {
+    --depth_;
+    for (Guard& g : guards_) {
+      if (g.depth > depth_) g.active = false;
+    }
+    return true;
+  }
+  if (!is_ident(tok)) return false;
+
+  // Guard declaration: [std ::] lock_guard|unique_lock|scoped_lock
+  // [<...>] name ( args ) ;
+  if (tok.text == "lock_guard" || tok.text == "unique_lock" ||
+      tok.text == "scoped_lock") {
+    std::size_t j = skip_angles(toks_, i + 1);
+    if (j < toks_.size() && is_ident(toks_[j])) {
+      const std::string guard_name = toks_[j].text;
+      if (j + 1 < toks_.size() &&
+          (is_punct(toks_[j + 1], "(") || is_punct(toks_[j + 1], "{"))) {
+        Guard guard;
+        guard.name = guard_name;
+        guard.depth = depth_;
+        bool deferred = false;
+        parse_guard_args(toks_, j + 1, &guard.mutexes, &deferred);
+        guard.active = !deferred;
+        if (guard.active && !guard.mutexes.empty() && on_acquire) {
+          on_acquire(guard, tok.line);
+        }
+        guards_.push_back(std::move(guard));
+        *index = j + 1;  // caller continues; its ++i lands on the first arg
+        return true;
+      }
+    }
+  }
+
+  // guard.unlock() / guard.lock() toggles.
+  if ((tok.text == "unlock" || tok.text == "lock") && i >= 2 &&
+      is_punct(toks_[i - 1], ".") && is_ident(toks_[i - 2]) &&
+      i + 1 < toks_.size() && is_punct(toks_[i + 1], "(")) {
+    for (Guard& g : guards_) {
+      if (g.name != toks_[i - 2].text) continue;
+      const bool activate = tok.text == "lock";
+      if (activate && !g.active && !g.mutexes.empty() && on_acquire) {
+        on_acquire(g, tok.line);
+      }
+      g.active = activate;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool GuardWalker::any_active() const {
+  for (const Guard& g : guards_) {
+    if (g.active) return true;
+  }
+  return false;
+}
+
+std::string GuardWalker::held_list() const {
+  std::string out;
+  for (const Guard& g : guards_) {
+    if (!g.active) continue;
+    for (const std::string& m : g.mutexes) {
+      if (!out.empty()) out += ", ";
+      out += "'" + m + "'";
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> GuardWalker::active_mutexes() const {
+  std::vector<std::string> out;
+  for (const Guard& g : guards_) {
+    if (!g.active) continue;
+    for (const std::string& m : g.mutexes) out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace flotilla::analyze

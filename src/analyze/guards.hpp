@@ -1,0 +1,70 @@
+// Shared lock-guard tracking over the token stream.
+//
+// Extracted from the lock-discipline pass (analyze/locks.cpp) when the
+// interprocedural layer landed: the per-function summary collector
+// (analyze/facts.cpp) needs the exact same model of which mutexes are
+// held at a given token — guard declarations, brace-depth deactivation,
+// unlock()/lock() toggles, std::defer_lock — so both consumers walk one
+// implementation and cannot drift.
+//
+// Usage: one GuardWalker per callable body; feed it every token the body
+// owns, in order: `if (walker.step(&i)) continue;` at the top of the
+// token loop, mirroring the original locks.cpp scan.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analyze/lexer.hpp"
+
+namespace flotilla::analyze {
+
+struct Guard {
+  std::string name;                  // guard variable name
+  std::vector<std::string> mutexes;  // raw mutex names from the declaration
+  int depth = 0;   // brace depth (within the body) of the declaration
+  bool active = false;
+};
+
+// Skips a balanced <...> starting at toks[i] == "<"; returns the index
+// past the closing ">", or i when not an angle list.
+std::size_t skip_angles(const std::vector<Token>& toks, std::size_t i);
+
+// Parses the argument list starting at toks[open] == '(' (or '{');
+// returns mutex names (last identifier of each top-level argument) and
+// whether std::defer_lock appeared.
+void parse_guard_args(const std::vector<Token>& toks, std::size_t open,
+                      std::vector<std::string>* mutexes, bool* deferred);
+
+class GuardWalker {
+ public:
+  explicit GuardWalker(const std::vector<Token>& toks) : toks_(toks) {}
+
+  // Fired on every real acquisition: a non-deferred guard declaration or
+  // a .lock() toggle on an inactive guard. Set before walking.
+  std::function<void(const Guard&, std::size_t line)> on_acquire;
+
+  // Processes the token at *i. Returns true when the token was guard
+  // bookkeeping (brace, guard declaration, unlock()/lock() toggle) — the
+  // caller should `continue` without inspecting it further. A consumed
+  // guard declaration advances *i to its '(' so the enclosing loop's ++i
+  // lands on the first argument token, matching the historical locks.cpp
+  // scan which re-reads guard arguments as ordinary tokens.
+  bool step(std::size_t* i);
+
+  bool any_active() const;
+  // "'a', 'b'" — the active mutex list, formatted for diagnostics.
+  std::string held_list() const;
+  // Raw names of every active mutex, in acquisition order.
+  std::vector<std::string> active_mutexes() const;
+  const std::vector<Guard>& guards() const { return guards_; }
+
+ private:
+  const std::vector<Token>& toks_;
+  std::vector<Guard> guards_;
+  int depth_ = 0;
+};
+
+}  // namespace flotilla::analyze

@@ -1,0 +1,76 @@
+// Interprocedural passes over the whole-program model
+// (docs/correctness.md, "Interprocedural analysis").
+//
+//   ipc-locks         self-deadlock: a call made while holding a mutex
+//                     whose callee (at any depth) re-acquires the same
+//                     mutex; and blocking-under-lock: a call made under a
+//                     lock whose callee transitively blocks (cv waits,
+//                     joins, sleeps). Depth-0 blocking names (join,
+//                     wait_all, the sleep family) fire too; cv wait
+//                     members do not at depth 0, since `cv.wait(lk)`
+//                     releases the lock it is handed.
+//   ipc-determinism   taint: a trace sink (Tracer span/counter, FNV
+//                     fingerprint) whose arguments call a function that
+//                     transitively reads wall-clock time or unseeded
+//                     randomness.
+//   shared-state      concurrency-readiness audit for the engine-sharding
+//                     refactor (ROADMAP item 1): every member field and
+//                     global/static written without a guard by code
+//                     reachable from sim::Engine::run. Reported at
+//                     severity "note" — an inventory, not a gate — and
+//                     dumped in full by --shared-state-report.
+#pragma once
+
+#include <iosfwd>
+
+#include "analyze/callgraph.hpp"
+#include "analyze/pass.hpp"
+
+namespace flotilla::analyze {
+
+class IpcLocksPass : public Pass {
+ public:
+  std::string_view name() const override { return "ipc-locks"; }
+  std::vector<std::string> rules() const override;
+  void run(const AnalysisInput& input,
+           std::vector<Finding>* findings) const override;
+};
+
+class IpcDeterminismPass : public Pass {
+ public:
+  std::string_view name() const override { return "ipc-determinism"; }
+  std::vector<std::string> rules() const override;
+  void run(const AnalysisInput& input,
+           std::vector<Finding>* findings) const override;
+};
+
+// One unguarded write location, aggregated per (file, function, target).
+struct SharedStateEntry {
+  WriteFact::Kind kind = WriteFact::Kind::kMember;
+  std::string target;
+  std::string file;       // display path
+  std::size_t line = 0;   // first write site
+  std::string function;   // qualified writer
+  int sites = 0;          // number of write sites aggregated
+};
+
+// Unguarded writes reachable from sim::Engine::run (empty when the
+// program model is missing or no root matches). Sorted by (file, line,
+// target).
+std::vector<SharedStateEntry> collect_shared_state(
+    const AnalysisInput& input);
+
+// Tab-separated inventory with a header line; consumed by the sharding
+// work as its to-guard checklist and uploaded as a CI artifact.
+void write_shared_state_report(const std::vector<SharedStateEntry>& entries,
+                               std::ostream& out);
+
+class SharedStatePass : public Pass {
+ public:
+  std::string_view name() const override { return "shared-state"; }
+  std::vector<std::string> rules() const override;
+  void run(const AnalysisInput& input,
+           std::vector<Finding>* findings) const override;
+};
+
+}  // namespace flotilla::analyze

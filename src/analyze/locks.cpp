@@ -1,8 +1,10 @@
 #include "analyze/locks.hpp"
 
-#include <algorithm>
 #include <map>
-#include <set>
+#include <vector>
+
+#include "analyze/facts.hpp"
+#include "analyze/guards.hpp"
 
 namespace flotilla::analyze {
 
@@ -13,97 +15,13 @@ bool is_punct(const Token& t, const char* text) {
   return t.kind == TokenKind::kPunct && t.text == text;
 }
 
-bool ends_with(const std::string& s, const char* suffix) {
-  const std::size_t n = std::string::traits_type::length(suffix);
-  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
-}
-
-// Skips a balanced <...> starting at toks[i] == "<"; returns the index
-// past the closing ">", or i when not an angle list.
-std::size_t skip_angles(const std::vector<Token>& toks, std::size_t i) {
-  if (i >= toks.size() || !is_punct(toks[i], "<")) return i;
-  int depth = 0;
-  for (std::size_t j = i; j < toks.size(); ++j) {
-    if (is_punct(toks[j], "<")) ++depth;
-    if (is_punct(toks[j], ">") && --depth == 0) return j + 1;
-    if (is_punct(toks[j], ";")) break;  // malformed; bail out
-  }
-  return i;
-}
-
-// ---------------------------------------------------------------------------
-// Declaration harvesting (file + paired header)
-// ---------------------------------------------------------------------------
-
-struct Decls {
-  std::set<std::string> callback_types;  // aliases of std::function
-  std::set<std::string> callback_vars;   // variables/members/params
-  std::set<std::string> virtual_methods;
-};
-
-bool is_callback_type(const Decls& decls, const std::string& type_name) {
-  return type_name == "function" || decls.callback_types.count(type_name) > 0 ||
-         ends_with(type_name, "Callback") || ends_with(type_name, "Handler");
-}
-
-void harvest(const std::vector<Token>& toks, Decls* decls) {
-  // Pass 1: `using X = std::function<...>` aliases.
-  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
-    if (!is_ident(toks[i]) || toks[i].text != "using") continue;
-    if (!is_ident(toks[i + 1]) || !is_punct(toks[i + 2], "=")) continue;
-    for (std::size_t j = i + 3; j < toks.size() && j < i + 8; ++j) {
-      if (is_punct(toks[j], ";")) break;
-      if (is_ident(toks[j]) && toks[j].text == "function") {
-        decls->callback_types.insert(toks[i + 1].text);
-        break;
-      }
-    }
-  }
-  // Pass 2: variables/members/parameters of callback type, and virtual
-  // method names.
-  for (std::size_t i = 0; i < toks.size(); ++i) {
-    if (!is_ident(toks[i])) continue;
-    if (toks[i].text == "virtual") {
-      // Method name: the identifier right before the next '(' (stop at
-      // ';' or '{'). Destructors are skipped.
-      for (std::size_t j = i + 1; j + 1 < toks.size() && j < i + 24; ++j) {
-        if (is_punct(toks[j], ";") || is_punct(toks[j], "{")) break;
-        if (is_punct(toks[j + 1], "(") && is_ident(toks[j]) &&
-            !(j > 0 && is_punct(toks[j - 1], "~"))) {
-          decls->virtual_methods.insert(toks[j].text);
-          break;
-        }
-      }
-      continue;
-    }
-    if (!is_callback_type(*decls, toks[i].text)) continue;
-    std::size_t j = skip_angles(toks, i + 1);
-    while (j < toks.size() &&
-           (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
-            (is_ident(toks[j]) && toks[j].text == "const"))) {
-      ++j;
-    }
-    if (j >= toks.size() || !is_ident(toks[j])) continue;
-    if (j + 1 >= toks.size()) continue;
-    const Token& after = toks[j + 1];
-    if (is_punct(after, ";") || is_punct(after, ",") ||
-        is_punct(after, ")") || is_punct(after, "=") ||
-        is_punct(after, "{")) {
-      decls->callback_vars.insert(toks[j].text);
-    }
-  }
-}
-
 // ---------------------------------------------------------------------------
 // Per-body lock tracking
 // ---------------------------------------------------------------------------
-
-struct Guard {
-  std::string name;
-  std::vector<std::string> mutexes;
-  int depth = 0;   // brace depth (within the body) of the declaration
-  bool active = false;
-};
+// Guard bookkeeping (declarations, unlock/lock toggles, scope exits) lives
+// in GuardWalker (analyze/guards.hpp), shared with the facts collector;
+// the declaration harvest (callback vars, virtual methods) lives in
+// analyze/facts.hpp. This pass keeps only its own detection logic.
 
 struct OrderSite {
   std::string file;
@@ -113,65 +31,13 @@ struct OrderSite {
 using OrderMap = std::map<std::pair<std::string, std::string>,
                           std::vector<OrderSite>>;
 
-bool is_lock_tag(const std::string& t) {
-  return t == "adopt_lock" || t == "defer_lock" || t == "try_to_lock";
-}
-
-// Parses the argument list starting at toks[open] == '(' (or '{');
-// returns mutex names (last identifier of each top-level argument) and
-// whether std::defer_lock appeared.
-void parse_guard_args(const std::vector<Token>& toks, std::size_t open,
-                      std::vector<std::string>* mutexes, bool* deferred) {
-  const char* close_text = is_punct(toks[open], "{") ? "}" : ")";
-  int depth = 0;
-  std::string last_ident;
-  for (std::size_t j = open; j < toks.size(); ++j) {
-    const Token& t = toks[j];
-    if (is_punct(t, "(") || is_punct(t, "{") || is_punct(t, "[")) ++depth;
-    if (is_punct(t, ")") || is_punct(t, "}") || is_punct(t, "]")) {
-      --depth;
-      if (depth == 0 && t.text == std::string(close_text)) {
-        if (!last_ident.empty()) mutexes->push_back(last_ident);
-        return;
-      }
-    }
-    if (depth == 1 && is_punct(t, ",")) {
-      if (!last_ident.empty()) mutexes->push_back(last_ident);
-      last_ident.clear();
-      continue;
-    }
-    if (is_ident(t)) {
-      if (is_lock_tag(t.text)) {
-        if (t.text == "defer_lock") *deferred = true;
-        last_ident.clear();
-      } else if (t.text != "std") {
-        last_ident = t.text;
-      }
-    }
-  }
-}
-
-std::string held_list(const std::vector<Guard>& guards) {
-  std::string out;
-  for (const Guard& g : guards) {
-    if (!g.active) continue;
-    for (const std::string& m : g.mutexes) {
-      if (!out.empty()) out += ", ";
-      out += "'" + m + "'";
-    }
-  }
-  return out;
-}
-
 void analyze_body(const SourceFile& file, const Body& body,
-                  const Decls& decls, OrderMap* orders,
+                  const DeclHarvest& decls, OrderMap* orders,
                   std::vector<Finding>* findings) {
   const auto& toks = file.lex.tokens;
-  std::vector<Guard> guards;
-  int depth = 0;
-
-  auto record_acquisition = [&](const Guard& incoming, std::size_t line) {
-    for (const Guard& held : guards) {
+  GuardWalker walker(toks);
+  walker.on_acquire = [&](const Guard& incoming, std::size_t line) {
+    for (const Guard& held : walker.guards()) {
       if (!held.active) continue;
       for (const std::string& m : held.mutexes) {
         for (const std::string& n : incoming.mutexes) {
@@ -184,64 +50,10 @@ void analyze_body(const SourceFile& file, const Body& body,
 
   for (std::size_t i = body.open; i <= body.close && i < toks.size(); ++i) {
     if (file.bodies.body_of[i] != body.id) continue;  // nested lambda/fn
+    if (walker.step(&i)) continue;
     const Token& tok = toks[i];
-    if (is_punct(tok, "{")) {
-      ++depth;
-      continue;
-    }
-    if (is_punct(tok, "}")) {
-      --depth;
-      for (Guard& g : guards) {
-        if (g.depth > depth) g.active = false;
-      }
-      continue;
-    }
     if (!is_ident(tok)) continue;
-
-    // Guard declaration: [std ::] lock_guard|unique_lock|scoped_lock
-    // [<...>] name ( args ) ;
-    if (tok.text == "lock_guard" || tok.text == "unique_lock" ||
-        tok.text == "scoped_lock") {
-      std::size_t j = skip_angles(toks, i + 1);
-      if (j < toks.size() && is_ident(toks[j])) {
-        const std::string guard_name = toks[j].text;
-        if (j + 1 < toks.size() &&
-            (is_punct(toks[j + 1], "(") || is_punct(toks[j + 1], "{"))) {
-          Guard guard;
-          guard.name = guard_name;
-          guard.depth = depth;
-          bool deferred = false;
-          parse_guard_args(toks, j + 1, &guard.mutexes, &deferred);
-          guard.active = !deferred;
-          if (guard.active && !guard.mutexes.empty()) {
-            record_acquisition(guard, tok.line);
-          }
-          guards.push_back(std::move(guard));
-          i = j + 1;
-          continue;
-        }
-      }
-    }
-
-    // guard.unlock() / guard.lock() toggles.
-    if ((tok.text == "unlock" || tok.text == "lock") && i >= 2 &&
-        is_punct(toks[i - 1], ".") && is_ident(toks[i - 2]) &&
-        i + 1 < toks.size() && is_punct(toks[i + 1], "(")) {
-      for (Guard& g : guards) {
-        if (g.name != toks[i - 2].text) continue;
-        const bool activate = tok.text == "lock";
-        if (activate && !g.active && !g.mutexes.empty()) {
-          record_acquisition(g, tok.line);
-        }
-        g.active = activate;
-      }
-      continue;
-    }
-
-    const bool any_active =
-        std::any_of(guards.begin(), guards.end(),
-                    [](const Guard& g) { return g.active; });
-    if (!any_active) continue;
+    if (!walker.any_active()) continue;
 
     // Direct or member call of a callback: `cb(...)`, `x.done(...)`.
     const bool called =
@@ -254,7 +66,7 @@ void analyze_body(const SourceFile& file, const Body& body,
       findings->push_back(
           {file.display, tok.line, "lock-callback",
            "user callback '" + tok.text + "' invoked while holding " +
-               held_list(guards) +
+               walker.held_list() +
                " in '" + body.name +
                "'; run callbacks outside the lock (hand them to the "
                "caller), or they can re-enter and deadlock"});
@@ -268,7 +80,7 @@ void analyze_body(const SourceFile& file, const Body& body,
       findings->push_back(
           {file.display, tok.line, "lock-callback",
            "user callback '" + toks[i + 2].text +
-               "' invoked while holding " + held_list(guards) + " in '" +
+               "' invoked while holding " + walker.held_list() + " in '" +
                body.name +
                "'; run callbacks outside the lock (hand them to the "
                "caller), or they can re-enter and deadlock"});
@@ -279,7 +91,7 @@ void analyze_body(const SourceFile& file, const Body& body,
       findings->push_back(
           {file.display, tok.line, "lock-virtual",
            "virtual method '" + tok.text + "' called while holding " +
-               held_list(guards) + " in '" + body.name +
+               walker.held_list() + " in '" + body.name +
                "'; dynamic dispatch under a lock can land in user code "
                "that re-enters this component"});
       continue;
@@ -293,11 +105,8 @@ void LockDisciplinePass::run(const AnalysisInput& input,
                              std::vector<Finding>* findings) const {
   OrderMap orders;
   for (const SourceFile& file : input.files) {
-    Decls decls;
-    harvest(file.lex.tokens, &decls);
-    if (file.paired_header) harvest(file.paired_header->tokens, &decls);
     for (const Body& body : file.bodies.bodies) {
-      analyze_body(file, body, decls, &orders, findings);
+      analyze_body(file, body, file.facts.decls, &orders, findings);
     }
   }
   // Inconsistent acquisition-order pairs: (A, B) and (B, A) both seen.

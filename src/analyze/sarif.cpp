@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "analyze/rules.hpp"
+
 namespace flotilla::analyze {
 
 std::string json_escape(const std::string& s) {
@@ -42,8 +44,22 @@ void write_sarif(std::ostream& os, const std::string& tool_name,
   os << "          \"name\": \"" << json_escape(tool_name) << "\",\n";
   os << "          \"rules\": [\n";
   for (std::size_t i = 0; i < rule_ids.size(); ++i) {
-    os << "            {\"id\": \"" << json_escape(rule_ids[i]) << "\"}"
-       << (i + 1 < rule_ids.size() ? "," : "") << "\n";
+    const char* tail = i + 1 < rule_ids.size() ? "," : "";
+    const RuleMeta* meta = find_rule_meta(rule_ids[i]);
+    if (meta == nullptr) {
+      os << "            {\"id\": \"" << json_escape(rule_ids[i]) << "\"}"
+         << tail << "\n";
+      continue;
+    }
+    os << "            {\n";
+    os << "              \"id\": \"" << json_escape(rule_ids[i]) << "\",\n";
+    os << "              \"fullDescription\": {\"text\": \""
+       << json_escape(meta->summary) << "\"},\n";
+    os << "              \"helpUri\": \"docs/correctness.md#"
+       << json_escape(meta->anchor) << "\",\n";
+    os << "              \"defaultConfiguration\": {\"level\": \""
+       << severity_name(meta->severity) << "\"}\n";
+    os << "            }" << tail << "\n";
   }
   os << "          ]\n";
   os << "        }\n";
@@ -53,7 +69,8 @@ void write_sarif(std::ostream& os, const std::string& tool_name,
     const Finding& f = results[i].finding;
     os << "        {\n";
     os << "          \"ruleId\": \"" << json_escape(f.rule) << "\",\n";
-    os << "          \"level\": \"error\",\n";
+    os << "          \"level\": \"" << severity_name(rule_severity(f.rule))
+       << "\",\n";
     os << "          \"message\": {\"text\": \"" << json_escape(f.message)
        << "\"},\n";
     os << "          \"locations\": [\n";

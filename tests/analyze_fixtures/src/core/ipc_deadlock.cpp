@@ -1,0 +1,44 @@
+// Fixture: interprocedural lock bugs the flat lock pass cannot see.
+// put() holds buf_mu_ and calls flush(), which reaches append() — and
+// append() re-acquires buf_mu_ two hops away (ipc-self-deadlock).
+// drain() holds buf_mu_ and calls block_for_space(), which parks on a
+// condition variable (ipc-blocking-under-lock).
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+class Journal {
+ public:
+  void put(int v) {
+    std::lock_guard<std::mutex> lock(buf_mu_);
+    last_ = v;
+    flush();
+  }
+
+  void drain() {
+    std::lock_guard<std::mutex> lock(buf_mu_);
+    block_for_space();
+  }
+
+ private:
+  void flush() { append(); }
+
+  void append() {
+    std::lock_guard<std::mutex> lock(buf_mu_);
+    ++flushed_;
+  }
+
+  void block_for_space() {
+    std::unique_lock<std::mutex> lk(space_mu_);
+    space_cv_.wait(lk);
+  }
+
+  std::mutex buf_mu_;
+  std::mutex space_mu_;
+  std::condition_variable space_cv_;
+  int last_ = 0;
+  int flushed_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,46 @@
+// Fixture: interprocedural lock counter-examples — every call into
+// re-acquiring or blocking code happens after the guard's scope closes,
+// so the ipc-locks pass must stay silent on this file.
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+class SafeJournal {
+ public:
+  void put(int v) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      last_ = v;
+    }
+    flush();
+  }
+
+  void drain() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++seq_;
+    }
+    block_for_space();
+  }
+
+ private:
+  void flush() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++flushed_;
+  }
+
+  void block_for_space() {
+    std::unique_lock<std::mutex> lk(space_mu_);
+    space_cv_.wait(lk);
+  }
+
+  std::mutex mu_;
+  std::mutex space_mu_;
+  std::condition_variable space_cv_;
+  int last_ = 0;
+  int seq_ = 0;
+  int flushed_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,52 @@
+// Fixture: shared-state audit root. sim::Engine::run reaches step() and
+// the Tally helper; ticks_ and Tally::total_ are written without a guard
+// (two inventory entries, severity "note" — never a gating finding),
+// while guarded_ is written under mu_ and OfflineReport::bump is
+// unreachable from the root, so neither may appear in the report.
+#include <mutex>
+
+namespace sim {
+
+class Tally {
+ public:
+  void accumulate(long v) { total_ += v; }
+
+ private:
+  long total_ = 0;
+};
+
+class Engine {
+ public:
+  void run() {
+    while (step()) {
+    }
+  }
+
+ private:
+  bool step() {
+    ++ticks_;
+    tally_.accumulate(1);
+    checkpoint();
+    return ticks_ < 100;
+  }
+
+  void checkpoint() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++guarded_;
+  }
+
+  std::mutex mu_;
+  long ticks_ = 0;
+  long guarded_ = 0;
+  Tally tally_;
+};
+
+class OfflineReport {
+ public:
+  void bump() { ++lines_; }
+
+ private:
+  long lines_ = 0;
+};
+
+}  // namespace sim

@@ -1,0 +1,26 @@
+// Fixture: nondeterministic taint reaching a trace span through a helper
+// return. The wall-clock read lives two calls down, in the util layer
+// where the flat determinism rules do not apply — only the
+// interprocedural taint pass can connect it to the span payload.
+#include "util/wallclock.hpp"
+
+namespace fixture {
+
+enum class SpanType { kTask };
+
+class Tracer {
+ public:
+  void begin(SpanType type, const char* component, int entity, double value);
+};
+
+class Probe {
+ public:
+  double stamp() const { return wall_seconds(); }
+
+  void submit() { tracer_.begin(SpanType::kTask, "sched", 7, stamp()); }
+
+ private:
+  Tracer tracer_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: deterministic span payload — the helper derives its value
+// from simulation state, not host time, so the interprocedural taint
+// pass must stay silent on this file.
+namespace fixture {
+
+enum class SpanType { kTask };
+
+class CleanTracer {
+ public:
+  void begin(SpanType type, const char* component, int entity, double value);
+};
+
+class CleanProbe {
+ public:
+  double sim_now() const { return tick_ * 0.001; }
+
+  void submit() { tracer_.begin(SpanType::kTask, "sched", 7, sim_now()); }
+
+ private:
+  CleanTracer tracer_;
+  long tick_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: wall-clock helper in the util layer, which sits outside the
+// determinism scope — defining it here is legal, but feeding its return
+// value into a trace sink from simulation code is exactly what the
+// ipc-determinism pass exists to catch.
+#pragma once
+
+#include <chrono>
+
+namespace fixture {
+
+inline double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace fixture

@@ -1,10 +1,13 @@
 // Tests for the flotilla-analyze framework (src/analyze/) and binary
 // (tools/flotilla_analyze.cpp): lexer edge cases against the library
-// directly, pass detection against the seeded-violation fixture tree
-// under tests/analyze_fixtures/ (one positive and one negative fixture
-// per pass, including the PR1 ProcessPool callback-under-lock regression
-// shape), SARIF output parsed and sanity-checked in-test, and the
-// baseline suppression round trip.
+// directly, call-graph resolution against in-test sources, pass
+// detection against the seeded-violation fixture tree under
+// tests/analyze_fixtures/ (one positive and one negative fixture per
+// pass, including the PR1 ProcessPool callback-under-lock regression
+// shape and the interprocedural deadlock/taint/shared-state seeds),
+// SARIF output parsed and sanity-checked in-test, the --jobs
+// byte-identity guarantee, the shared-state report, and the baseline
+// suppression round trip.
 //
 // FLOTILLA_ANALYZE_BIN, FLOTILLA_ANALYZE_FIXTURES and FLOTILLA_REPO_ROOT
 // are injected by tests/CMakeLists.txt.
@@ -20,8 +23,10 @@
 
 #include <sys/wait.h>
 
+#include "analyze/callgraph.hpp"
 #include "analyze/lexer.hpp"
 #include "analyze/pass.hpp"
+#include "analyze/scopes.hpp"
 
 namespace {
 
@@ -349,6 +354,14 @@ TEST(AnalyzeToolTest, FixtureScanReportsEverySeededViolation) {
   const std::vector<std::string> expected = {
       "src/core/cycle_a.hpp:4: error: [arch-cycle] include cycle between: "
       "src/core/cycle_a.hpp <-> src/core/cycle_b.hpp",
+      "src/core/ipc_deadlock.cpp:16: error: [ipc-self-deadlock] call to "
+      "'flush' while holding 'fixture::Journal::buf_mu_' self-deadlocks: "
+      "'flush' (via 'append') re-acquires it; release the lock before the "
+      "call, or acquire the mutex once at the top level",
+      "src/core/ipc_deadlock.cpp:21: error: [ipc-blocking-under-lock] "
+      "call to 'block_for_space' may block while holding "
+      "'fixture::Journal::buf_mu_': 'block_for_space' reaches 'wait'; "
+      "release the lock before calling into blocking code",
       "src/core/lock_order.cpp:12: error: [lock-order] mutex 'flush_mu_' "
       "acquired while holding 'queue_mu_', but the opposite order exists "
       "at src/core/lock_order.cpp:17; pick one global order to avoid ABBA "
@@ -378,18 +391,26 @@ TEST(AnalyzeToolTest, FixtureScanReportsEverySeededViolation) {
           conf + " forbids",
       "src/sim/det_bad.cpp:8: error: [wall-clock] wall-clock time in "
       "simulation code breaks determinism; use sim::Engine::now()",
+      "src/sim/ipc_taint.cpp:20: error: [ipc-determinism] trace span "
+      "takes a value from 'stamp': 'stamp' (via 'wall_seconds') reads "
+      "wall-clock time; trace content must be simulation-deterministic "
+      "(derive it from sim time or a seeded RngStream)",
   };
   EXPECT_EQ(result.lines, expected);
 }
 
 // The negative fixtures (correct lock handling per the PR1 fix, balanced
 // and event-driven spans, comment/string-only determinism mentions, a
-// waived call) are part of the tree scanned above; none of them may
+// waived call, lock-released-before-the-call interprocedural shapes, a
+// deterministic span payload, and the shared-state root whose notes
+// never gate) are part of the tree scanned above; none of them may
 // appear in the diagnostics. Scanning them alone must come back clean.
 TEST(AnalyzeToolTest, NegativeFixturesStayClean) {
   for (const char* rel :
        {"src/core/lock_ok.cpp", "src/core/span_ok.cpp",
-        "src/sim/det_ok.cpp", "src/util/helpers.hpp"}) {
+        "src/core/ipc_lock_ok.cpp", "src/sim/det_ok.cpp",
+        "src/sim/ipc_taint_ok.cpp", "src/sim/engine_loop.cpp",
+        "src/util/helpers.hpp", "src/util/wallclock.hpp"}) {
     const RunResult result = run_analyze(
         "--layers " + fixtures() + "/layers.conf --strip-prefix " +
         fixtures() + "/ " + fixtures() + "/" + rel);
@@ -415,7 +436,8 @@ TEST(AnalyzeToolTest, SarifIsValidJsonWithOneResultPerFinding) {
   EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
   EXPECT_NE(sarif.find("sarif-2.1.0.json"), std::string::npos);
   EXPECT_NE(sarif.find("\"name\": \"flotilla-analyze\""), std::string::npos);
-  EXPECT_EQ(count_occurrences(sarif, "\"ruleId\""), 10u);
+  // 13 error findings plus the two shared-state notes from engine_loop.cpp.
+  EXPECT_EQ(count_occurrences(sarif, "\"ruleId\""), 15u);
   // Spot-check one physical location end to end.
   EXPECT_NE(sarif.find("\"ruleId\": \"span-balance\""), std::string::npos);
   EXPECT_NE(sarif.find("\"uri\": \"src/core/span_bad.cpp\""),
@@ -424,14 +446,41 @@ TEST(AnalyzeToolTest, SarifIsValidJsonWithOneResultPerFinding) {
   // Every pass's rules are declared as tool.driver.rules.
   for (const char* rule :
        {"arch-config", "arch-cycle", "arch-layering", "arch-unmapped",
-        "lock-callback", "lock-order", "lock-virtual", "span-balance",
-        "wall-clock", "unordered-iteration"}) {
-    EXPECT_NE(sarif.find(std::string("{\"id\": \"") + rule + "\"}"),
+        "ipc-blocking-under-lock", "ipc-determinism", "ipc-self-deadlock",
+        "lock-callback", "lock-order", "lock-virtual", "shared-state",
+        "span-balance", "wall-clock", "unordered-iteration"}) {
+    EXPECT_NE(sarif.find(std::string("\"id\": \"") + rule + "\""),
               std::string::npos)
         << rule;
   }
   // Nothing is suppressed without a baseline.
   EXPECT_EQ(count_occurrences(sarif, "\"suppressions\""), 0u);
+}
+
+TEST(AnalyzeToolTest, SarifRuleMetadataCarriesDocsAnchorsAndSeverity) {
+  const std::string out = testing::TempDir() + "analyze_meta.sarif";
+  run_analyze(fixture_args() + " --sarif --output " + out);
+  const std::string sarif = read_file(out);
+  // All 17 declared rules carry a fullDescription and a helpUri anchored
+  // into docs/correctness.md; the three ipc rules and shared-state point
+  // at the interprocedural section.
+  EXPECT_EQ(count_occurrences(sarif, "\"fullDescription\""), 17u);
+  EXPECT_EQ(count_occurrences(sarif, "\"helpUri\": \"docs/correctness.md#"),
+            17u);
+  EXPECT_EQ(count_occurrences(
+                sarif,
+                "\"helpUri\": "
+                "\"docs/correctness.md#interprocedural-analysis\""),
+            4u);
+  EXPECT_EQ(count_occurrences(sarif, "\"defaultConfiguration\""), 17u);
+  // shared-state is the only note-severity rule: its defaultConfiguration
+  // plus its two fixture results are the only "note" levels in the
+  // document; every other rule and result is level "error".
+  EXPECT_EQ(count_occurrences(sarif, "\"level\": \"note\""), 3u);
+  EXPECT_EQ(count_occurrences(sarif, "\"level\": \"warning\""), 0u);
+  EXPECT_NE(sarif.find("\"ruleId\": \"shared-state\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/sim/engine_loop.cpp\""),
+            std::string::npos);
 }
 
 TEST(AnalyzeToolTest, SarifIsByteIdenticalAcrossRuns) {
@@ -469,8 +518,11 @@ TEST(AnalyzeToolTest, BaselineRoundTripSuppressesGrandfatheredFindings) {
   const std::string sarif = read_file(out);
   JsonChecker checker(sarif);
   EXPECT_TRUE(checker.valid());
-  EXPECT_EQ(count_occurrences(sarif, "\"ruleId\""), 10u);
-  EXPECT_EQ(count_occurrences(sarif, "\"suppressions\""), 10u);
+  // All 15 results (13 errors + 2 notes) are reported, but only the 13
+  // error findings live in the baseline and get suppressed: notes never
+  // enter the baseline.
+  EXPECT_EQ(count_occurrences(sarif, "\"ruleId\""), 15u);
+  EXPECT_EQ(count_occurrences(sarif, "\"suppressions\""), 13u);
 
   // Dropping one entry makes exactly that finding fresh again.
   std::string text = read_file(baseline);
@@ -510,12 +562,175 @@ TEST(AnalyzeToolTest, ListRulesNamesEveryPassRule) {
   const RunResult result = run_analyze("--list-rules");
   EXPECT_EQ(result.exit_code, 0);
   const std::vector<std::string> expected = {
-      "arch-config",       "arch-cycle",    "arch-layering",
-      "arch-unmapped",     "hardware-concurrency", "lock-callback",
-      "lock-order",        "lock-virtual",  "real-sleep",
-      "span-balance",      "unordered-iteration", "unseeded-random",
+      "arch-config",          "arch-cycle",
+      "arch-layering",        "arch-unmapped",
+      "hardware-concurrency", "ipc-blocking-under-lock",
+      "ipc-determinism",      "ipc-self-deadlock",
+      "lock-callback",        "lock-order",
+      "lock-virtual",         "real-sleep",
+      "shared-state",         "span-balance",
+      "unordered-iteration",  "unseeded-random",
       "wall-clock"};
   EXPECT_EQ(result.lines, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Call-graph resolution (library-level, in-test sources)
+// ---------------------------------------------------------------------------
+
+fa::SourceFile make_source(const std::string& name, const std::string& text) {
+  fa::SourceFile file;
+  file.display = name;
+  file.lex = fa::lex_string(name, text);
+  file.bodies = fa::build_bodies(file.lex);
+  file.facts = fa::collect_facts(file.lex, file.bodies, nullptr);
+  return file;
+}
+
+int find_fn(const fa::ProgramModel& model, const std::string& qualified) {
+  for (const fa::FunctionNode& node : model.functions) {
+    if (node.def.qualified == qualified) return node.id;
+  }
+  return -1;
+}
+
+TEST(AnalyzeCallGraphTest, ResolvesOverloadsNamespacesAndVirtualDispatch) {
+  fa::AnalysisInput input;
+  input.files.push_back(make_source(
+      "a.cpp",
+      "namespace app {\n"
+      "int scale(int v) { return v * 2; }\n"
+      "double scale(double v) { return v * 2.0; }\n"
+      "int use_scale() { return scale(3); }\n"
+      "}  // namespace app\n"));
+  input.files.push_back(make_source(
+      "b.cpp",
+      "namespace app {\n"
+      "class Codec {\n"
+      " public:\n"
+      "  virtual void pack() {}\n"
+      "};\n"
+      "class FastCodec : public Codec {\n"
+      " public:\n"
+      "  void pack() override { encode(); }\n"
+      "  void encode() {}\n"
+      "};\n"
+      "void drive(Codec& c) { c.pack(); }\n"
+      "}  // namespace app\n"));
+  input.files.push_back(make_source(
+      "c.cpp",
+      "namespace web {\n"
+      "int scale(int v) { return v; }\n"
+      "}  // namespace web\n"
+      "int outside() { return app::scale(7); }\n"));
+  const fa::ProgramModel model = fa::build_program(input);
+
+  // Three definitions share the bare name; overload resolution is
+  // name-level, so an unqualified call inside app targets both app
+  // overloads and nothing else.
+  const std::vector<int>* scales = model.by_name("scale");
+  ASSERT_NE(scales, nullptr);
+  EXPECT_EQ(scales->size(), 3u);
+  const int user = find_fn(model, "app::use_scale");
+  ASSERT_GE(user, 0);
+  ASSERT_EQ(model.callees[user].size(), 2u);
+  for (const int callee : model.callees[user]) {
+    EXPECT_EQ(model.functions[callee].def.qualified, "app::scale");
+  }
+
+  // An explicitly qualified call from outside matches component-wise:
+  // app::scale hits both app overloads, never web::scale.
+  const int outside = find_fn(model, "outside");
+  ASSERT_GE(outside, 0);
+  ASSERT_EQ(model.callees[outside].size(), 2u);
+  for (const int callee : model.callees[outside]) {
+    EXPECT_EQ(model.functions[callee].def.qualified, "app::scale");
+  }
+
+  // Virtual dispatch through the base: every override is a target.
+  const int drive = find_fn(model, "app::drive");
+  ASSERT_GE(drive, 0);
+  std::vector<std::string> packs;
+  for (const int callee : model.callees[drive]) {
+    packs.push_back(model.functions[callee].def.qualified);
+  }
+  std::sort(packs.begin(), packs.end());
+  const std::vector<std::string> expected = {"app::Codec::pack",
+                                             "app::FastCodec::pack"};
+  EXPECT_EQ(packs, expected);
+}
+
+TEST(AnalyzeCallGraphTest, SummariesPropagateMutexesBottomUp) {
+  fa::AnalysisInput input;
+  input.files.push_back(make_source(
+      "store.cpp",
+      "namespace app {\n"
+      "class Store {\n"
+      " public:\n"
+      "  void deep() { mid(); }\n"
+      " private:\n"
+      "  void mid() { leaf(); }\n"
+      "  void leaf() { std::lock_guard<std::mutex> lock(mu_); }\n"
+      "  std::mutex mu_;\n"
+      "};\n"
+      "}  // namespace app\n"));
+  const fa::ProgramModel model = fa::build_program(input);
+
+  const int deep = find_fn(model, "app::Store::deep");
+  const int leaf = find_fn(model, "app::Store::leaf");
+  ASSERT_GE(deep, 0);
+  ASSERT_GE(leaf, 0);
+
+  // leaf acquires the mutex directly (no via); deep inherits it through
+  // the two-hop chain, and the trail renders the path.
+  const auto direct = model.summaries[leaf].mutexes.find("app::Store::mu_");
+  ASSERT_NE(direct, model.summaries[leaf].mutexes.end());
+  EXPECT_LT(direct->second.via, 0);
+  const auto inherited =
+      model.summaries[deep].mutexes.find("app::Store::mu_");
+  ASSERT_NE(inherited, model.summaries[deep].mutexes.end());
+  EXPECT_GE(inherited->second.via, 0);
+  EXPECT_EQ(model.trail(deep, &fa::FunctionSummary::mutexes,
+                        "app::Store::mu_"),
+            " (via 'mid' -> 'leaf')");
+}
+
+// ---------------------------------------------------------------------------
+// --jobs byte-identity and the shared-state report
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeToolTest, JobCountNeverChangesOutput) {
+  const std::string a = testing::TempDir() + "analyze_jobs1.sarif";
+  const std::string b = testing::TempDir() + "analyze_jobs8.sarif";
+  const RunResult one =
+      run_analyze(fixture_args() + " --jobs 1 --sarif --output " + a);
+  const RunResult eight =
+      run_analyze(fixture_args() + " --jobs 8 --sarif --output " + b);
+  EXPECT_EQ(one.exit_code, eight.exit_code);
+  EXPECT_EQ(read_file(a), read_file(b));
+  const RunResult text_one = run_analyze(fixture_args() + " --jobs 1");
+  const RunResult text_eight = run_analyze(fixture_args() + " --jobs 8");
+  EXPECT_EQ(text_one.lines, text_eight.lines);
+}
+
+TEST(AnalyzeToolTest, SharedStateReportInventoriesUnguardedWrites) {
+  const std::string report = testing::TempDir() + "analyze_ssr.txt";
+  const RunResult result =
+      run_analyze(fixture_args() + " --shared-state-report " + report);
+  EXPECT_EQ(result.exit_code, 1);  // the seeded error findings, not notes
+  const std::string text = read_file(report);
+  const std::string expected =
+      "# flotilla-analyze shared-state report: unguarded writes reachable "
+      "from sim::Engine::run\n"
+      "# kind\ttarget\tfirst-site\tsites\tfunction\n"
+      "member\ttotal_\tsrc/sim/engine_loop.cpp:12\t1\tsim::Tally::"
+      "accumulate\n"
+      "member\tticks_\tsrc/sim/engine_loop.cpp:27\t1\tsim::Engine::step\n";
+  EXPECT_EQ(text, expected);
+  // guarded_ is written under mu_ and OfflineReport::bump is unreachable
+  // from the root: neither may be inventoried.
+  EXPECT_EQ(text.find("guarded_"), std::string::npos);
+  EXPECT_EQ(text.find("lines_"), std::string::npos);
 }
 
 }  // namespace

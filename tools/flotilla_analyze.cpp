@@ -14,6 +14,16 @@
 //   determinism    the five flotilla-lint rules, on the token stream
 //                  (wall-clock, unseeded-random, hardware-concurrency,
 //                  real-sleep, unordered-iteration)
+//   ipc-locks      interprocedural lock discipline over the call graph:
+//                  self-deadlock and blocking-under-lock at any call
+//                  depth (ipc-self-deadlock, ipc-blocking-under-lock)
+//   ipc-determinism  wall-clock/unseeded-random taint flowing through
+//                  function returns into trace spans, counters, or the
+//                  trace fingerprint (ipc-determinism)
+//   shared-state   concurrency-readiness audit: unguarded writes
+//                  reachable from sim::Engine::run, reported at severity
+//                  "note" and inventoried by --shared-state-report
+//                  (shared-state)
 //
 // Findings can be waived in place (// FLOTILLA_LINT_ALLOW(rule): reason)
 // or grandfathered in a committed baseline (analyze/baseline.txt); CI
@@ -25,6 +35,7 @@
 // 2 usage/IO error.
 
 #include <algorithm>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -32,6 +43,7 @@
 
 #include "analyze/determinism.hpp"
 #include "analyze/driver.hpp"
+#include "analyze/ipc.hpp"
 #include "analyze/layers.hpp"
 #include "analyze/locks.hpp"
 #include "analyze/spans.hpp"
@@ -54,6 +66,10 @@ void usage(std::ostream& os) {
         "stdout\n"
         "  --strip-prefix <p>   strip <p> from display paths (fixture "
         "trees)\n"
+        "  --jobs <n>           file-loading threads (default: one per "
+        "hardware thread); output is identical for any value\n"
+        "  --shared-state-report <file>  also write the unguarded-write "
+        "inventory reachable from sim::Engine::run\n"
         "  --list-rules         print every rule id and exit\n";
 }
 
@@ -87,6 +103,18 @@ int main(int argc, char** argv) {
       options.output_path = value("--output");
     } else if (arg == "--strip-prefix") {
       options.strip_prefix = value("--strip-prefix");
+    } else if (arg == "--jobs") {
+      const std::string n = value("--jobs");
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(n.c_str(), &end, 10);
+      if (end == n.c_str() || *end != '\0' || parsed == 0) {
+        std::cerr << "flotilla-analyze: error: --jobs needs a positive "
+                     "integer\n";
+        return 2;
+      }
+      options.jobs = static_cast<unsigned>(parsed);
+    } else if (arg == "--shared-state-report") {
+      options.shared_state_report_path = value("--shared-state-report");
     } else if (arg == "--list-rules") {
       list_rules = true;
     } else if (arg == "-h" || arg == "--help") {
@@ -115,6 +143,9 @@ int main(int argc, char** argv) {
   registry.add(std::make_unique<fa::LockDisciplinePass>());
   registry.add(std::make_unique<fa::SpanBalancePass>());
   registry.add(std::make_unique<fa::DeterminismPass>());
+  registry.add(std::make_unique<fa::IpcLocksPass>());
+  registry.add(std::make_unique<fa::IpcDeterminismPass>());
+  registry.add(std::make_unique<fa::SharedStatePass>());
 
   if (list_rules) {
     std::vector<std::string> rules;
