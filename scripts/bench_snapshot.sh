@@ -67,6 +67,9 @@ cat > "$out" <<EOF
   "placement_speedup": $(kv placement_speedup),
   "makespan_s": $(kv makespan_s),
   "events_per_sec": $(kv events_per_sec),
+  "events_per_sec_storm_serial": $(kv events_per_sec_storm_serial),
+  "events_per_sec_sharded": $(kv events_per_sec_sharded),
+  "storm_speedup": $(kv storm_speedup),
   "bench_throughput_wall_s": $throughput_wall,
   "bench_impeccable_wall_s": $impeccable_wall
 }

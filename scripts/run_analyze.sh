@@ -37,9 +37,30 @@ analyze="$build_dir/tools/flotilla-analyze"
 # SARIF for the artifact upload (exit code deferred to the gating run:
 # the SARIF run reports suppressed results too, so it shares the same
 # fresh-findings exit status). The same run writes the shared-state
-# inventory CI uploads alongside it.
+# inventory CI uploads alongside it, annotated from analyze/confined.txt.
 "$analyze" --baseline analyze/baseline.txt --sarif --output "$sarif_out" \
-  --shared-state-report "$report_out" || true
+  --shared-state-report "$report_out" --confined analyze/confined.txt || true
+
+# Shared-state inventory delta vs the recorded pre-sharding count
+# (analyze/shared_state_count.txt): the sharding acceptance bar is that
+# the inventory shrinks, or every remaining entry carries a reviewed
+# confined annotation. Unannotated entries fail the run.
+recorded=$(cat analyze/shared_state_count.txt)
+summary=$(sed -n '2s/^# //p' "$report_out")
+total=$(printf '%s\n' "$summary" | sed -n 's/^total \([0-9]*\) entries.*/\1/p')
+unannotated=$(printf '%s\n' "$summary" | sed -n 's/.*, \([0-9]*\) unannotated$/\1/p')
+if [ -z "$total" ] || [ -z "$unannotated" ]; then
+  echo "run_analyze: cannot parse shared-state summary from $report_out" >&2
+  exit 2
+fi
+echo "run_analyze: shared-state inventory: $total entries" \
+     "(pre-sharding baseline $recorded, delta $((total - recorded)))," \
+     "$unannotated unannotated" >&2
+if [ "$unannotated" -gt 0 ]; then
+  echo "run_analyze: FAIL: $unannotated inventory entries lack a confined" \
+       "annotation (annotate in analyze/confined.txt or guard the writes)" >&2
+  exit 1
+fi
 
 # Human-readable gate: prints fresh findings and fails on them. Timed so
 # CI logs show analyzer cost as the tree grows.

@@ -201,6 +201,13 @@ int run_driver(const DriverOptions& options, const PassRegistry& registry,
   }
 
   if (!options.shared_state_report_path.empty()) {
+    std::vector<ConfinedAnnotation> confined;
+    if (!options.confined_path.empty() &&
+        !load_confined_annotations(options.confined_path, &confined,
+                                   &error)) {
+      err << "flotilla-analyze: error: " << error << "\n";
+      return 2;
+    }
     std::ofstream report(options.shared_state_report_path,
                          std::ios::binary | std::ios::trunc);
     if (!report) {
@@ -209,7 +216,10 @@ int run_driver(const DriverOptions& options, const PassRegistry& registry,
           << ": cannot open for writing\n";
       return 2;
     }
-    write_shared_state_report(collect_shared_state(input), report);
+    write_shared_state_report(
+        collect_shared_state(input,
+                             confined.empty() ? nullptr : &confined),
+        report);
     if (!report.flush()) {
       err << "flotilla-analyze: error: "
           << options.shared_state_report_path << ": write failed\n";

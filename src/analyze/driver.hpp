@@ -49,6 +49,9 @@ struct DriverOptions {
   // When set, the shared-state inventory (analyze/ipc.hpp) is written
   // here in addition to the normal report.
   std::string shared_state_report_path;
+  // Confined-annotation file (analyze/confined.txt) applied to the
+  // shared-state report; "" = no annotations.
+  std::string confined_path;
 };
 
 // Runs every registered pass and reports. Returns the process exit code:

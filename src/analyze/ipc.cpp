@@ -1,9 +1,11 @@
 #include "analyze/ipc.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <map>
 #include <ostream>
 #include <set>
+#include <sstream>
 #include <tuple>
 
 namespace flotilla::analyze {
@@ -170,8 +172,68 @@ void IpcDeterminismPass::run(const AnalysisInput& input,
 // shared-state
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// True when the annotation's function pattern covers `qualified`. A plain
+// pattern matches as a component suffix ("Engine::step" matches
+// "sim::Engine::step"); "X::*" matches every member of component X.
+bool function_matches(const std::string& qualified,
+                      const std::string& pattern) {
+  if (pattern.size() > 3 &&
+      pattern.compare(pattern.size() - 3, 3, "::*") == 0) {
+    const std::string component = pattern.substr(0, pattern.size() - 3) + "::";
+    if (qualified.compare(0, component.size(), component) == 0) return true;
+    return qualified.find("::" + component) != std::string::npos;
+  }
+  return component_suffix(qualified, pattern);
+}
+
+const ConfinedAnnotation* match_annotation(
+    const std::vector<ConfinedAnnotation>* confined,
+    const std::string& target, const std::string& function) {
+  if (confined == nullptr) return nullptr;
+  for (const ConfinedAnnotation& a : *confined) {
+    if (a.target != "*" && a.target != target) continue;
+    if (function_matches(function, a.function)) return &a;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool load_confined_annotations(const std::string& path,
+                               std::vector<ConfinedAnnotation>* out,
+                               std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = path + ": cannot open confined-annotation file";
+    return false;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    ConfinedAnnotation a;
+    fields >> a.target >> a.function;
+    std::getline(fields, a.reason);
+    const std::size_t start = a.reason.find_first_not_of(" \t");
+    a.reason = start == std::string::npos ? "" : a.reason.substr(start);
+    if (a.target.empty() || a.function.empty() || a.reason.empty()) {
+      *error = path + ":" + std::to_string(lineno) +
+               ": expected 'target function reason...'";
+      return false;
+    }
+    out->push_back(std::move(a));
+  }
+  return true;
+}
+
 std::vector<SharedStateEntry> collect_shared_state(
-    const AnalysisInput& input) {
+    const AnalysisInput& input,
+    const std::vector<ConfinedAnnotation>* confined) {
   if (!input.program) return {};
   const ProgramModel& model = *input.program;
 
@@ -232,6 +294,9 @@ std::vector<SharedStateEntry> collect_shared_state(
   std::vector<SharedStateEntry> entries;
   for (auto& [key, entry] : merged) {
     (void)key;
+    const ConfinedAnnotation* a =
+        match_annotation(confined, entry.target, entry.function);
+    if (a != nullptr) entry.confinement = a->reason;
     entries.push_back(std::move(entry));
   }
   std::sort(entries.begin(), entries.end(),
@@ -244,13 +309,21 @@ std::vector<SharedStateEntry> collect_shared_state(
 
 void write_shared_state_report(const std::vector<SharedStateEntry>& entries,
                                std::ostream& out) {
+  std::size_t confined = 0;
+  for (const SharedStateEntry& e : entries) {
+    if (!e.confinement.empty()) ++confined;
+  }
   out << "# flotilla-analyze shared-state report: unguarded writes "
          "reachable from sim::Engine::run\n";
-  out << "# kind\ttarget\tfirst-site\tsites\tfunction\n";
+  out << "# total " << entries.size() << " entries: " << confined
+      << " confined-by-annotation, " << entries.size() - confined
+      << " unannotated\n";
+  out << "# kind\ttarget\tfirst-site\tsites\tfunction\tconfinement\n";
   for (const SharedStateEntry& e : entries) {
     out << (e.kind == WriteFact::Kind::kMember ? "member" : "global")
         << '\t' << e.target << '\t' << e.file << ':' << e.line << '\t'
-        << e.sites << '\t' << e.function << '\n';
+        << e.sites << '\t' << e.function << '\t'
+        << (e.confinement.empty() ? "-" : e.confinement) << '\n';
   }
 }
 

@@ -52,16 +52,41 @@ struct SharedStateEntry {
   std::size_t line = 0;   // first write site
   std::string function;   // qualified writer
   int sites = 0;          // number of write sites aggregated
+  // Reason from the matching confined annotation; empty = unannotated.
+  std::string confinement;
 };
+
+// One line of analyze/confined.txt: a reviewed claim that writes to
+// `target` from `function` are safe without a guard (owner-confined to
+// one shard, published at a round barrier, or pinned to threads=1 —
+// docs/sharding.md). `function` is matched as a qualified-name component
+// suffix; a trailing "::*" annotates every member of a component.
+// `target` may be "*" to cover all of the function's writes.
+struct ConfinedAnnotation {
+  std::string target;
+  std::string function;
+  std::string reason;
+};
+
+// Parses the tab/space-separated annotation file (`target function
+// reason...` per line, '#' comments). False (with *error) on IO or parse
+// failure.
+bool load_confined_annotations(const std::string& path,
+                               std::vector<ConfinedAnnotation>* out,
+                               std::string* error);
 
 // Unguarded writes reachable from sim::Engine::run (empty when the
 // program model is missing or no root matches). Sorted by (file, line,
-// target).
+// target). When `confined` is given, matching entries carry the
+// annotation's reason in SharedStateEntry::confinement.
 std::vector<SharedStateEntry> collect_shared_state(
-    const AnalysisInput& input);
+    const AnalysisInput& input,
+    const std::vector<ConfinedAnnotation>* confined = nullptr);
 
-// Tab-separated inventory with a header line; consumed by the sharding
-// work as its to-guard checklist and uploaded as a CI artifact.
+// Tab-separated inventory with a header line plus a summary line
+// splitting confined-by-annotation from unannotated entries; consumed by
+// the sharding work as its to-guard checklist and uploaded as a CI
+// artifact.
 void write_shared_state_report(const std::vector<SharedStateEntry>& entries,
                                std::ostream& out);
 

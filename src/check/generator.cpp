@@ -159,6 +159,19 @@ ScenarioSpec generate_scenario(sim::RngStream& rng) {
     spec.faults.push_back(fault);
   }
 
+  // Engine sharding: half the scenarios run the full stack on a
+  // partitioned calendar (bit-identical to shards=1 by construction), and
+  // the threads dimension feeds the engine-level storm oracle in
+  // run_with_oracles() — the stack itself stays single-threaded.
+  if (rng.bernoulli(0.5)) {
+    static const int kShardCounts[] = {2, 3, 4};
+    spec.shards = kShardCounts[rng.uniform_int(0, 2)];
+  }
+  if (rng.bernoulli(0.5)) {
+    static const int kThreadCounts[] = {2, 4};
+    spec.threads = kThreadCounts[rng.uniform_int(0, 1)];
+  }
+
   return spec;
 }
 

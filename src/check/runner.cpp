@@ -15,6 +15,7 @@
 #include "prrte/dvm_backend.hpp"
 #include "sched/queue.hpp"
 #include "sim/random.hpp"
+#include "sim/storm.hpp"
 #include "util/error.hpp"
 #include "util/strfmt.hpp"
 #include "workloads/heterogeneous.hpp"
@@ -191,7 +192,8 @@ void inject_overcommit(core::Session& session, core::Pilot& pilot,
 
 void run_impl(const ScenarioSpec& spec, const RunOptions& opts,
               RunResult& result) {
-  core::Session session(platform::frontier_spec(), spec.nodes, spec.seed);
+  core::Session session(platform::frontier_spec(), spec.nodes, spec.seed,
+                        platform::frontier_calibration(), spec.shards);
   InvariantMonitor::Options mopts;
   mopts.coherence_stride = opts.coherence_stride;
   InvariantMonitor monitor(session, mopts);
@@ -327,6 +329,47 @@ RunResult run_with_oracles(const ScenarioSpec& spec, const RunOptions& opts) {
                   " vs ", second.fingerprint, ", events ", first.events,
                   " vs ", second.events),
         0.0});
+  }
+  // Sharded full-stack runs must schedule identically to the classic single
+  // calendar: the shard split only partitions the data structure, never the
+  // event order (docs/sharding.md). Raw event counts legitimately differ —
+  // cross-shard hops are mailbox events that do not exist at shards=1 — so
+  // the oracle compares the trace/task fingerprints, which capture every
+  // observable timestamp and outcome.
+  if (spec.shards > 1) {
+    ScenarioSpec serial = spec;
+    serial.shards = 1;
+    const RunResult unsharded = run_scenario(serial, opts);
+    if (first.fingerprint != unsharded.fingerprint) {
+      first.violations.push_back(Violation{
+          "shard-invariance",
+          util::cat("shards=", spec.shards, " diverged from shards=1: ",
+                    "fingerprint ", first.fingerprint, " vs ",
+                    unsharded.fingerprint),
+          0.0});
+    }
+  }
+  // The full stack pins the engine to one thread, so the threads dimension
+  // is exercised on the shard-confined storm workload: the parallel drain
+  // must fingerprint-match the serial single-shard reference.
+  if (spec.threads > 1) {
+    sim::StormConfig storm;
+    storm.seed = spec.seed;
+    sim::StormConfig reference = storm;  // shards=1, threads=1
+    storm.shards = std::max(spec.shards, spec.threads);
+    storm.threads = spec.threads;
+    const auto parallel = sim::run_storm(storm);
+    const auto serial = sim::run_storm(reference);
+    if (parallel.fingerprint != serial.fingerprint ||
+        parallel.events != serial.events) {
+      first.violations.push_back(Violation{
+          "storm-determinism",
+          util::cat("storm(shards=", storm.shards, ",threads=", storm.threads,
+                    ") diverged from serial: fingerprint ",
+                    parallel.fingerprint, " vs ", serial.fingerprint,
+                    ", events ", parallel.events, " vs ", serial.events),
+          0.0});
+    }
   }
   return first;
 }

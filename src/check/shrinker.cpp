@@ -144,6 +144,16 @@ std::vector<ScenarioSpec> candidates(const ScenarioSpec& spec) {
     next.dragon_queue = "fifo";
     push(next);
   }
+  if (spec.shards != 1) {
+    ScenarioSpec next = spec;
+    next.shards = 1;
+    push(next);
+  }
+  if (spec.threads != 1) {
+    ScenarioSpec next = spec;
+    next.threads = 1;
+    push(next);
+  }
 
   return out;
 }

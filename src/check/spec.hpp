@@ -34,6 +34,15 @@ struct FaultSpec {
 struct ScenarioSpec {
   std::uint64_t seed = 42;
   int nodes = 4;
+
+  // Engine sharding (docs/sharding.md). `shards` partitions the Session
+  // engine's event calendar — the run must be bit-identical to shards=1.
+  // `threads` drives the engine-level storm oracle in run_with_oracles():
+  // the full stack pins its engine to one thread, so the threads dimension
+  // is exercised on the shard-confined storm workload instead.
+  int shards = 1;
+  int threads = 1;
+
   std::vector<core::BackendSpec> backends{{"srun"}};
 
   // Workload shape: "null" | "sleep" | "hetero" | "impeccable".

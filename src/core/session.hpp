@@ -24,9 +24,18 @@ class Session {
  public:
   // `num_nodes` sizes the modeled machine (the job allocation lives inside
   // it); `seed` drives every random stream deterministically.
+  //
+  // `engine_shards` partitions the event calendar (docs/sharding.md):
+  // backends self-assign a shard via engine().affinity(name) and the agent
+  // hops completion events back to the control shard, so the schedule is
+  // identical for any shard count (the determinism suites assert this).
+  // The stack pins the engine to threads=1 and lookahead=0 — the
+  // same-timestamp batch drain keeps virtual time monotone for the
+  // invariant monitor, and concurrent drains stay off until the
+  // shared-state inventory (scripts/run_analyze.sh) is confined/guarded.
   Session(platform::PlatformSpec spec, int num_nodes, std::uint64_t seed = 42,
-          platform::Calibration calibration =
-              platform::frontier_calibration());
+          platform::Calibration calibration = platform::frontier_calibration(),
+          int engine_shards = 1);
 
   sim::Engine& engine() { return engine_; }
   platform::Cluster& cluster() { return cluster_; }

@@ -1,0 +1,103 @@
+// EventCalendar: one shard's slice of the simulation's event set.
+//
+// A calendar owns a (time, seq) min-heap plus the live-callback map that
+// implements tombstone cancellation. The sequence numbers that break ties
+// at equal times are assigned by the owner (sim::Engine): globally in
+// single-shard mode (bit-identical to the historical engine) and per shard
+// in sharded mode, so every calendar's pop order is deterministic without
+// any cross-shard coordination.
+//
+// Threading contract: a calendar has exactly one owner at any instant —
+// the engine's coordinator between drain rounds, or the one worker
+// draining this shard during a round. It is never locked; the sharded
+// engine's round barrier is what publishes calendar state between owners.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace flotilla::sim {
+
+using Time = double;  // virtual seconds
+
+inline constexpr Time kInfiniteTime = std::numeric_limits<Time>::infinity();
+
+using Callback = std::function<void()>;
+
+class EventCalendar {
+ public:
+  struct Popped {
+    Time time = 0.0;
+    std::uint64_t seq = 0;
+    Callback callback;
+  };
+
+  // Inserts an event; `seq` must be unique within this calendar and
+  // strictly increasing between pushes at equal times (the owner's
+  // counter guarantees both).
+  void push(Time time, std::uint64_t seq, Callback callback) {
+    heap_.push(Entry{time, seq});
+    callbacks_.emplace(seq, std::move(callback));
+  }
+
+  // Tombstones a pending event; returns false if `seq` is unknown or
+  // already fired.
+  bool cancel(std::uint64_t seq) {
+    const auto it = callbacks_.find(seq);
+    if (it == callbacks_.end()) return false;
+    callbacks_.erase(it);
+    return true;
+  }
+
+  // Virtual time of the earliest live event, or kInfiniteTime. Prunes
+  // tombstones off the heap top, which is why this is genuinely
+  // non-const: peeking compacts, it never changes observable state.
+  Time next_time() {
+    pop_cancelled();
+    return heap_.empty() ? kInfiniteTime : heap_.top().time;
+  }
+
+  // Removes and returns the earliest live event; false when empty.
+  bool pop(Popped* out) {
+    pop_cancelled();
+    if (heap_.empty()) return false;
+    const Entry entry = heap_.top();
+    heap_.pop();
+    const auto it = callbacks_.find(entry.seq);
+    out->time = entry.time;
+    out->seq = entry.seq;
+    out->callback = std::move(it->second);
+    callbacks_.erase(it);
+    return true;
+  }
+
+  bool empty() const { return callbacks_.empty(); }
+  std::size_t live() const { return callbacks_.size(); }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    // Min-heap by (time, seq).
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void pop_cancelled() {
+    while (!heap_.empty() &&
+           callbacks_.find(heap_.top().seq) == callbacks_.end()) {
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+}  // namespace flotilla::sim

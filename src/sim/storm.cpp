@@ -1,0 +1,125 @@
+#include "sim/storm.hpp"
+
+#include <bit>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "util/error.hpp"
+
+namespace flotilla::sim {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t time_bits(Time t) { return std::bit_cast<std::uint64_t>(t); }
+
+// Cache-line aligned: actors are assigned to shards round-robin, so
+// adjacent elements of the actor vector are mutated by different worker
+// threads — without the alignment every event false-shares its
+// neighbours' RNG state.
+struct alignas(64) Actor {
+  RngStream rng{0};
+  std::uint64_t hash = kFnvOffset;
+};
+
+// Owns the actors and the engine for one storm run. Actor state is only
+// ever touched by events on the actor's own shard (actor % shards), so
+// nothing here needs a lock even under Config::threads > 1.
+class Storm {
+ public:
+  explicit Storm(const StormConfig& config)
+      : config_(config),
+        engine_(Engine::Config{config.shards, config.threads,
+                               config.lookahead}) {
+    FLOT_CHECK(config_.actors > 0, "storm needs at least one actor");
+    FLOT_CHECK(config_.steps > 0, "storm needs at least one step");
+    FLOT_CHECK(config_.lookahead <= config_.min_send_delay,
+               "storm lookahead ", config_.lookahead,
+               " exceeds the cross-send delay floor ",
+               config_.min_send_delay,
+               " -- deliveries would clamp and the fingerprint would ",
+               "depend on the shard count");
+    actors_.reserve(static_cast<std::size_t>(config_.actors));
+    for (int a = 0; a < config_.actors; ++a) {
+      Actor actor;
+      actor.rng.reseed(config_.seed ^
+                       RngStream::hash("storm." + std::to_string(a)));
+      actors_.push_back(std::move(actor));
+    }
+  }
+
+  StormResult run() {
+    for (int a = 0; a < config_.actors; ++a) {
+      // First steps are staggered by actor-local draws so no two chains
+      // ever share a timestamp.
+      const Time t0 = actors_[static_cast<std::size_t>(a)].rng.exponential(
+          config_.mean_period);
+      engine_.at(shard_of(a), t0, [this, a] { step(a, 0); });
+    }
+    StormResult result;
+    result.events = engine_.run();
+    result.makespan = engine_.now();
+    result.fingerprint = kFnvOffset;
+    for (const Actor& actor : actors_) {
+      result.fingerprint = mix(result.fingerprint, actor.hash);
+    }
+    return result;
+  }
+
+ private:
+  ShardId shard_of(int actor) const {
+    return static_cast<ShardId>(actor % config_.shards);
+  }
+
+  void step(int a, int s) {
+    Actor& actor = actors_[static_cast<std::size_t>(a)];
+    const Time now = engine_.now();
+    actor.hash = mix(actor.hash, time_bits(now));
+    actor.hash = mix(actor.hash, static_cast<std::uint64_t>(s));
+    // Draws happen unconditionally and in a fixed order so the actor's
+    // stream position depends only on its own step count.
+    const Time next_delay = actor.rng.exponential(config_.mean_period);
+    const bool send = actor.rng.bernoulli(config_.send_probability);
+    const int target = static_cast<int>(
+        actor.rng.uniform_int(0, config_.actors - 1));
+    const Time send_delay =
+        config_.min_send_delay + actor.rng.exponential(config_.mean_period);
+    if (send) {
+      engine_.at(shard_of(target), now + send_delay,
+                 [this, a, target, stamp = time_bits(now)] {
+                   Actor& receiver = actors_[static_cast<std::size_t>(target)];
+                   receiver.hash = mix(receiver.hash,
+                                       static_cast<std::uint64_t>(a));
+                   receiver.hash = mix(receiver.hash, stamp);
+                 });
+    }
+    if (s + 1 < config_.steps) {
+      engine_.at(shard_of(a), now + next_delay,
+                 [this, a, s] { step(a, s + 1); });
+    }
+  }
+
+  StormConfig config_;
+  std::vector<Actor> actors_;
+  Engine engine_;  // declared last: destroyed (pool joined) before actors_
+};
+
+}  // namespace
+
+StormResult run_storm(const StormConfig& config) {
+  Storm storm(config);
+  return storm.run();
+}
+
+}  // namespace flotilla::sim

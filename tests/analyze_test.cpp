@@ -722,15 +722,57 @@ TEST(AnalyzeToolTest, SharedStateReportInventoriesUnguardedWrites) {
   const std::string expected =
       "# flotilla-analyze shared-state report: unguarded writes reachable "
       "from sim::Engine::run\n"
-      "# kind\ttarget\tfirst-site\tsites\tfunction\n"
+      "# total 2 entries: 0 confined-by-annotation, 2 unannotated\n"
+      "# kind\ttarget\tfirst-site\tsites\tfunction\tconfinement\n"
       "member\ttotal_\tsrc/sim/engine_loop.cpp:12\t1\tsim::Tally::"
-      "accumulate\n"
-      "member\tticks_\tsrc/sim/engine_loop.cpp:27\t1\tsim::Engine::step\n";
+      "accumulate\t-\n"
+      "member\tticks_\tsrc/sim/engine_loop.cpp:27\t1\tsim::Engine::step"
+      "\t-\n";
   EXPECT_EQ(text, expected);
   // guarded_ is written under mu_ and OfflineReport::bump is unreachable
   // from the root: neither may be inventoried.
   EXPECT_EQ(text.find("guarded_"), std::string::npos);
   EXPECT_EQ(text.find("lines_"), std::string::npos);
+}
+
+TEST(AnalyzeToolTest, ConfinedAnnotationsMarkInventoryEntries) {
+  // An exact-target annotation plus a component-wildcard one: total_ is
+  // annotated by name, ticks_ via Engine::* covering every member write
+  // in sim::Engine. The entries stay in the report (the inventory never
+  // shrinks silently) but carry the reason instead of '-'.
+  const std::string confined = testing::TempDir() + "analyze_confined.txt";
+  {
+    std::ofstream out(confined);
+    out << "# reviewed claims\n"
+        << "total_ Tally::accumulate event-confined: one tally per shard\n"
+        << "* Engine::* owner-confined during rounds\n";
+  }
+  const std::string report = testing::TempDir() + "analyze_ssr_conf.txt";
+  const RunResult result =
+      run_analyze(fixture_args() + " --shared-state-report " + report +
+                  " --confined " + confined);
+  EXPECT_EQ(result.exit_code, 1);
+  const std::string text = read_file(report);
+  EXPECT_NE(text.find("# total 2 entries: 2 confined-by-annotation, "
+                      "0 unannotated\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("\tsim::Tally::accumulate\tevent-confined: one "
+                      "tally per shard\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("\tsim::Engine::step\towner-confined during rounds\n"),
+      std::string::npos);
+
+  // Malformed annotation lines are a usage error, not silently ignored.
+  const std::string broken = testing::TempDir() + "analyze_broken.txt";
+  {
+    std::ofstream out(broken);
+    out << "ticks_\n";
+  }
+  const RunResult bad =
+      run_analyze(fixture_args() + " --shared-state-report " + report +
+                  " --confined " + broken);
+  EXPECT_EQ(bad.exit_code, 2);
 }
 
 }  // namespace

@@ -141,6 +141,33 @@ TEST(Runner, GeneratedScenariosHoldAllInvariants) {
   }
 }
 
+TEST(Runner, ShardedSessionFingerprintMatchesSingleCalendar) {
+  // Full-stack shard invariance: partitioning the Session engine's calendar
+  // must not change a single observable timestamp or task outcome. Event
+  // counts are not compared — cross-shard hops add mailbox events that do
+  // not exist at shards=1.
+  ScenarioSpec spec;
+  spec.seed = 31;
+  spec.nodes = 8;
+  spec.backends = {{.type = "flux", .partitions = 2, .nodes = 4},
+                   {.type = "dragon", .partitions = 2, .nodes = 4}};
+  spec.workload = "hetero";
+  spec.tasks = 60;
+  spec.duration = 1.0;
+  const auto reference = run_scenario(spec);
+  ASSERT_TRUE(reference.ok()) << reference.violations.front().to_string();
+  for (int shards : {2, 3, 4}) {
+    ScenarioSpec sharded = spec;
+    sharded.shards = shards;
+    const auto result = run_scenario(sharded);
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.fingerprint, reference.fingerprint)
+        << "shards=" << shards << " diverged from the single calendar";
+    EXPECT_EQ(result.done, reference.done);
+    EXPECT_EQ(result.makespan, reference.makespan);
+  }
+}
+
 TEST(Runner, ReplayOfSerializedSpecIsBitIdentical) {
   sim::RngStream rng(7, "fuzz.generate");
   const auto spec = generate_scenario(rng);

@@ -70,6 +70,8 @@ void usage(std::ostream& os) {
         "hardware thread); output is identical for any value\n"
         "  --shared-state-report <file>  also write the unguarded-write "
         "inventory reachable from sim::Engine::run\n"
+        "  --confined <file>    confined annotations (analyze/confined.txt) "
+        "applied to the shared-state report\n"
         "  --list-rules         print every rule id and exit\n";
 }
 
@@ -115,6 +117,8 @@ int main(int argc, char** argv) {
       options.jobs = static_cast<unsigned>(parsed);
     } else if (arg == "--shared-state-report") {
       options.shared_state_report_path = value("--shared-state-report");
+    } else if (arg == "--confined") {
+      options.confined_path = value("--confined");
     } else if (arg == "--list-rules") {
       list_rules = true;
     } else if (arg == "-h" || arg == "--help") {
