@@ -79,7 +79,22 @@ def evaluate(baseline, current, tolerance):
     rows = []
     regressions = []
     for metric, direction in METRICS.items():
-        if metric not in baseline or metric not in current:
+        if metric not in baseline:
+            continue
+        if metric not in current:
+            # A gated metric the baseline has but this snapshot lost is a
+            # red flag (a bench that silently stopped running would
+            # otherwise pass forever) — surface it as a labeled warning
+            # row rather than skipping it.
+            rows.append(
+                {
+                    "metric": metric,
+                    "baseline": float(baseline[metric]),
+                    "current": None,
+                    "delta": None,
+                    "status": "MISSING",
+                }
+            )
             continue
         base = float(baseline[metric])
         cur = float(current[metric])
@@ -111,7 +126,13 @@ def evaluate(baseline, current, tolerance):
 
 
 def fmt_value(value):
+    if value is None:
+        return "n/a"
     return f"{value:.3f}" if abs(value) < 1000 else f"{value:.0f}"
+
+
+def fmt_delta(value):
+    return "n/a" if value is None else f"{value:+.1%}"
 
 
 def render(rows, tolerance, markdown):
@@ -123,11 +144,11 @@ def render(rows, tolerance, markdown):
         lines.append("|---|---:|---:|---:|---|")
         for r in rows:
             lines.append(
-                "| {metric} | {base} | {cur} | {delta:+.1%} | {status} |".format(
+                "| {metric} | {base} | {cur} | {delta} | {status} |".format(
                     metric=r["metric"],
                     base=fmt_value(r["baseline"]),
                     cur=fmt_value(r["current"]),
-                    delta=r["delta"],
+                    delta=fmt_delta(r["delta"]),
                     status=r["status"],
                 )
             )
@@ -139,12 +160,12 @@ def render(rows, tolerance, markdown):
         for r in rows:
             lines.append(
                 "  {metric:<{width}}  base={base:>12}  cur={cur:>12}  "
-                "{delta:+7.1%}  {status}".format(
+                "{delta:>7}  {status}".format(
                     metric=r["metric"],
                     width=width,
                     base=fmt_value(r["baseline"]),
                     cur=fmt_value(r["current"]),
-                    delta=r["delta"],
+                    delta=fmt_delta(r["delta"]),
                     status=r["status"],
                 )
             )

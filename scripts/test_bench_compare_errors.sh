@@ -47,6 +47,20 @@ check_error "malformed json" "$TMP/good.json" "$TMP/truncated.json"
 printf '[1, 2, 3]' > "$TMP/array.json"
 check_error "non-object json" "$TMP/good.json" "$TMP/array.json"
 
+# A gated metric present in the baseline but missing from the candidate
+# must surface as a labeled MISSING warning row — not silently pass (a
+# bench that stopped producing a metric would otherwise pass forever).
+cat > "$TMP/lost_metric.json" <<'EOF'
+{"quick": true, "makespan_s": 12.0}
+EOF
+out="$(python3 "$COMPARE" "$TMP/good.json" "$TMP/lost_metric.json" 2>"$TMP/stderr")"
+rc=$?
+[ "$rc" -eq 0 ] || fail "missing metric: warning row must not fail the gate (got $rc)"
+echo "$out" | grep -q "events_per_sec.*MISSING" \
+  || fail "missing metric: no MISSING row for events_per_sec in output"
+echo "$out" | grep -q "n/a" \
+  || fail "missing metric: current/delta must render as n/a"
+
 # Sanity: the happy path still works.
 python3 "$COMPARE" "$TMP/good.json" "$TMP/good.json" >/dev/null 2>&1 \
   || fail "happy path: expected exit 0"

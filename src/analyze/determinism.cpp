@@ -52,7 +52,7 @@ const TokenRule kTokenRules[] = {
 const char* const kScopedDirs[] = {
     "src/sim/",    "src/core/",      "src/slurm/", "src/flux/",
     "src/prrte/",  "src/platform/",  "src/workloads/", "src/sched/",
-    "src/check/",  "src/obs/",       "src/analyze/",
+    "src/check/",  "src/obs/",       "src/analyze/",   "src/journal/",
 };
 
 const char* const kAllowlist[] = {

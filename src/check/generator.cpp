@@ -172,6 +172,19 @@ ScenarioSpec generate_scenario(sim::RngStream& rng) {
     spec.threads = kThreadCounts[rng.uniform_int(0, 1)];
   }
 
+  // Crash/recovery (docs/recovery.md): about a third of the scenarios
+  // kill the controller mid-campaign at a seeded journal-record index and
+  // must recover by replay into a byte-equivalent run. The index range is
+  // sized so most crashes land mid-workload; overshooting the run's total
+  // record count degenerates into a full-journal validation replay, which
+  // is also worth fuzzing. A sliver of survive-only scenarios keeps the
+  // prefix-integrity path (recover=0) exercised.
+  if (rng.bernoulli(0.35)) {
+    spec.crash_at =
+        static_cast<std::uint64_t>(rng.uniform_int(1, 8ll * spec.tasks));
+    spec.recover = !rng.bernoulli(0.1);
+  }
+
   return spec;
 }
 

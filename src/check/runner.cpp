@@ -12,6 +12,7 @@
 #include "core/task_manager.hpp"
 #include "dragon/dragon_backend.hpp"
 #include "flux/flux_backend.hpp"
+#include "journal/scribe.hpp"
 #include "prrte/dvm_backend.hpp"
 #include "sched/queue.hpp"
 #include "sim/random.hpp"
@@ -190,6 +191,23 @@ void inject_overcommit(core::Session& session, core::Pilot& pilot,
   session.engine().at(start, [leak] { (*leak)(); });
 }
 
+// Journal lines end in '\n'; violation details are single-line.
+std::string chomp(std::string line) {
+  while (!line.empty() && line.back() == '\n') line.pop_back();
+  return line;
+}
+
+// The journal header records the spec with the oracle dimensions reset:
+// crash_at/recover describe how the *oracle* exercises the scenario, not
+// what the run does, so every crash point of a scenario shares one
+// uninterrupted reference journal (docs/recovery.md).
+std::string header_spec_line(const ScenarioSpec& spec) {
+  ScenarioSpec header = spec;
+  header.crash_at = 0;
+  header.recover = true;
+  return header.to_string();
+}
+
 void run_impl(const ScenarioSpec& spec, const RunOptions& opts,
               RunResult& result) {
   core::Session session(platform::frontier_spec(), spec.nodes, spec.seed,
@@ -197,6 +215,22 @@ void run_impl(const ScenarioSpec& spec, const RunOptions& opts,
   InvariantMonitor::Options mopts;
   mopts.coherence_stride = opts.coherence_stride;
   InvariantMonitor monitor(session, mopts);
+
+  // Durable journal: the scribe attaches before the pilot exists so
+  // bootstrap-time allocations are journaled too. In recovery mode it
+  // validates every record against the surviving prefix.
+  std::unique_ptr<journal::Scribe> scribe;
+  if (opts.journal || opts.crash_at > 0 || opts.recovery != nullptr) {
+    scribe = opts.recovery != nullptr
+                 ? std::make_unique<journal::Scribe>(session,
+                                                     opts.recovery->prefix())
+                 : std::make_unique<journal::Scribe>(session);
+    scribe->record_header(spec.seed, header_spec_line(spec));
+  }
+  const auto crashed_now = [&] {
+    if (scribe == nullptr || opts.crash_at == 0) return false;
+    return scribe->records() >= opts.crash_at;
+  };
 
   core::PilotManager pmgr(session);
   core::PilotDescription pd;
@@ -220,6 +254,14 @@ void run_impl(const ScenarioSpec& spec, const RunOptions& opts,
   const std::uint64_t launch_budget = 100000;
   while (!ready_reported && session.engine().step()) {
     if (++result.events > launch_budget) break;
+    if (crashed_now()) {
+      // Controller died during bootstrap: keep the surviving bytes, skip
+      // the end-state audit (an interrupted run legitimately holds
+      // in-flight allocations).
+      result.crashed = true;
+      result.journal = scribe->writer().bytes();
+      return;
+    }
   }
   result.ready = ready;
   if (!ready) {
@@ -231,9 +273,11 @@ void run_impl(const ScenarioSpec& spec, const RunOptions& opts,
     return;
   }
   const sim::Time ready_time = session.now();
+  if (scribe) scribe->record_ready();
 
   core::TaskManager tmgr(session, pilot.agent());
   monitor.watch(tmgr);
+  if (scribe) scribe->attach(tmgr);
   monitor.watch_backends(pilot.agent());
   tmgr.on_complete([&result](const core::Task& task) {
     switch (task.state()) {
@@ -251,25 +295,44 @@ void run_impl(const ScenarioSpec& spec, const RunOptions& opts,
 
   const auto uids = tmgr.submit(build_workload(spec));
 
+  // The injected state-loss defect (docs/recovery.md): a recovery path
+  // that forgets the pending fault schedule. Inert on normal runs — only
+  // the crash/recover oracle can observe it, as a journal divergence or a
+  // terminal-state mismatch against the uninterrupted reference.
+  const bool lost_fault_schedule =
+      spec.bug == "state-loss" && opts.recovery != nullptr;
   for (const auto& fault : spec.faults) {
+    if (lost_fault_schedule) break;
     if (fault.kind == FaultSpec::Kind::kCrash) {
       session.engine().at(ready_time + fault.time,
-                          [&pilot, fault] { apply_crash(pilot.agent(), fault); });
+                          [&pilot, fault, s = scribe.get()] {
+                            if (s) {
+                              s->record_fault("crash", fault.backend,
+                                              fault.index, 0);
+                            }
+                            apply_crash(pilot.agent(), fault);
+                          });
     } else {
-      session.engine().at(ready_time + fault.time, [&tmgr, uids, fault] {
-        if (uids.empty()) return;
-        const auto n = std::min<std::size_t>(
-            uids.size(), static_cast<std::size_t>(std::max(1, fault.count)));
-        const std::size_t stride = uids.size() / n;
-        for (std::size_t i = 0; i < n; ++i) {
-          tmgr.cancel(uids[i * stride]);
-        }
-      });
+      session.engine().at(
+          ready_time + fault.time, [&tmgr, uids, fault, s = scribe.get()] {
+            if (uids.empty()) return;
+            const auto n = std::min<std::size_t>(
+                uids.size(),
+                static_cast<std::size_t>(std::max(1, fault.count)));
+            if (s) {
+              s->record_fault("cancel", "", 0,
+                              static_cast<std::int64_t>(n));
+            }
+            const std::size_t stride = uids.size() / n;
+            for (std::size_t i = 0; i < n; ++i) {
+              tmgr.cancel(uids[i * stride]);
+            }
+          });
     }
   }
   if (spec.bug == "overcommit") {
     inject_overcommit(session, pilot, ready_time + 0.5);
-  } else if (spec.bug != "none") {
+  } else if (spec.bug != "none" && spec.bug != "state-loss") {
     util::raise("spec: unknown bug injection: ", spec.bug);
   }
 
@@ -288,11 +351,57 @@ void run_impl(const ScenarioSpec& spec, const RunOptions& opts,
           session.now()});
       break;
     }
+    if (crashed_now()) {
+      result.crashed = true;
+      break;
+    }
   }
   result.makespan = session.now() - ready_time;
+  if (result.crashed) {
+    // Simulated controller death: the journal prefix is all that
+    // survives. No end record, no end-state audit — an interrupted run
+    // legitimately holds in-flight allocations and unfinished tasks.
+    result.journal = scribe->writer().bytes();
+    return;
+  }
+  if (scribe) {
+    scribe->record_end(static_cast<std::int64_t>(result.done),
+                       static_cast<std::int64_t>(result.failed),
+                       static_cast<std::int64_t>(result.canceled),
+                       result.events);
+  }
 
   monitor.finish();
   for (const auto& v : monitor.violations()) result.violations.push_back(v);
+
+  if (opts.recovery != nullptr) {
+    if (scribe->diverged()) {
+      const auto& d = scribe->divergence();
+      result.violations.push_back(Violation{
+          "recovery-divergence",
+          util::cat("replay diverged from the journal at record #", d.index,
+                    ": expected [", chomp(d.expected), "] got [",
+                    chomp(d.got), "]"),
+          session.now()});
+    } else if (!scribe->replay_complete()) {
+      result.violations.push_back(Violation{
+          "recovery-divergence",
+          util::cat("replay ended after ", scribe->cursor(), " of ",
+                    opts.recovery->prefix().size(),
+                    " journaled records"),
+          session.now()});
+    }
+  }
+
+  if (scribe) result.journal = scribe->writer().bytes();
+  // Restore-path equivalence digests, in backend registration order
+  // (deterministic): compared against the uninterrupted reference by
+  // check_recovery and the RecoveryContract suite.
+  for (const auto& name : pilot.agent().backend_names()) {
+    if (auto* b = pilot.agent().backend(name)) {
+      result.backend_summaries.push_back(b->restore_summary());
+    }
+  }
 
   // Fingerprint: full trace + every task's final record. Bit-identical
   // across runs of the same spec iff the simulation is deterministic.
@@ -318,16 +427,128 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
   return result;
 }
 
+std::vector<Violation> check_recovery(const ScenarioSpec& spec,
+                                      const RunResult& reference,
+                                      const RunOptions& opts) {
+  std::vector<Violation> out;
+  if (spec.crash_at == 0) return out;
+  if (reference.journal.empty()) {
+    out.push_back(Violation{
+        "recovery", "reference run recorded no journal (opts.journal off?)",
+        0.0});
+    return out;
+  }
+
+  // 1. Re-run to the crash point: the controller dies once its journal
+  // holds spec.crash_at records. Pre-crash invariant violations are the
+  // uninterrupted reference's to report; here only the bytes matter.
+  RunOptions copts = opts;
+  copts.journal = true;
+  copts.crash_at = spec.crash_at;
+  copts.recovery = nullptr;
+  const RunResult crashed = run_scenario(spec, copts);
+
+  // 2. Torn tail: a crash mid-write loses a few trailing bytes. Seeded
+  // and deterministic; the header record always survives (a journal whose
+  // very first write was torn has nothing to recover, by construction).
+  std::string bytes = crashed.journal;
+  sim::RngStream torn(spec.seed ^ spec.crash_at, "check.torn-tail");
+  const std::size_t keep = bytes.find('\n') + 1;
+  std::size_t chop = static_cast<std::size_t>(torn.uniform_int(0, 48));
+  chop = std::min(chop, bytes.size() > keep ? bytes.size() - keep
+                                            : std::size_t{0});
+  bytes.resize(bytes.size() - chop);
+
+  // 3. Recover by deterministic re-execution, validating every emitted
+  // record against the surviving prefix, then compare the finished run
+  // byte-for-byte against the uninterrupted reference.
+  try {
+    const journal::RecoveryManager rm(bytes);
+    if (!spec.recover) return out;  // survive-only: prefix integrity checked
+    RunOptions ropts = opts;
+    ropts.journal = true;
+    ropts.crash_at = 0;
+    ropts.recovery = &rm;
+    const RunResult recovered =
+        run_scenario(ScenarioSpec::parse(rm.spec_line()), ropts);
+    for (const auto& v : recovered.violations) out.push_back(v);
+    if (recovered.journal != reference.journal) {
+      // Locate the first differing record for the report.
+      const auto split_lines = [](const std::string& text) {
+        std::vector<std::string> lines;
+        std::string line;
+        std::istringstream is(text);
+        while (std::getline(is, line)) lines.push_back(line);
+        return lines;
+      };
+      const auto ref = split_lines(reference.journal);
+      const auto got = split_lines(recovered.journal);
+      std::size_t i = 0;
+      while (i < ref.size() && i < got.size() && ref[i] == got[i]) ++i;
+      out.push_back(Violation{
+          "recovery",
+          util::cat("recovered journal diverged from the uninterrupted run "
+                    "at record #",
+                    i, ": expected [", i < ref.size() ? ref[i] : "<eof>",
+                    "] got [", i < got.size() ? got[i] : "<eof>", "]"),
+          0.0});
+    }
+    if (recovered.fingerprint != reference.fingerprint ||
+        recovered.done != reference.done ||
+        recovered.failed != reference.failed ||
+        recovered.canceled != reference.canceled ||
+        recovered.makespan != reference.makespan) {
+      out.push_back(Violation{
+          "recovery",
+          util::cat("recovered terminal state mismatch: fingerprint ",
+                    recovered.fingerprint, " vs ", reference.fingerprint,
+                    ", done ", recovered.done, " vs ", reference.done,
+                    ", failed ", recovered.failed, " vs ", reference.failed,
+                    ", canceled ", recovered.canceled, " vs ",
+                    reference.canceled, ", makespan ", recovered.makespan,
+                    " vs ", reference.makespan),
+          0.0});
+    }
+    if (recovered.backend_summaries != reference.backend_summaries) {
+      std::string detail = "restored backend state diverged:";
+      for (std::size_t i = 0; i < reference.backend_summaries.size() ||
+                              i < recovered.backend_summaries.size();
+           ++i) {
+        const std::string& want = i < reference.backend_summaries.size()
+                                      ? reference.backend_summaries[i]
+                                      : "<absent>";
+        const std::string& have = i < recovered.backend_summaries.size()
+                                      ? recovered.backend_summaries[i]
+                                      : "<absent>";
+        if (want != have) {
+          detail += util::cat(" [", want, "] vs [", have, "]");
+        }
+      }
+      out.push_back(Violation{"recovery", detail, 0.0});
+    }
+  } catch (const std::exception& e) {
+    out.push_back(Violation{
+        "recovery", util::cat("journal prefix unrecoverable: ", e.what()),
+        0.0});
+  }
+  return out;
+}
+
 RunResult run_with_oracles(const ScenarioSpec& spec, const RunOptions& opts) {
-  RunResult first = run_scenario(spec, opts);
-  const RunResult second = run_scenario(spec, opts);
+  // The recovery oracle compares against the first run's journal, so
+  // journal the base runs whenever the spec carries a crash point.
+  RunOptions base = opts;
+  if (spec.crash_at > 0) base.journal = true;
+  RunResult first = run_scenario(spec, base);
+  const RunResult second = run_scenario(spec, base);
   if (first.fingerprint != second.fingerprint ||
-      first.events != second.events) {
+      first.events != second.events || first.journal != second.journal) {
     first.violations.push_back(Violation{
         "determinism",
         util::cat("same-seed runs diverged: fingerprint ", first.fingerprint,
                   " vs ", second.fingerprint, ", events ", first.events,
-                  " vs ", second.events),
+                  " vs ", second.events, ", journal bytes ",
+                  first.journal.size(), " vs ", second.journal.size()),
         0.0});
   }
   // Sharded full-stack runs must schedule identically to the classic single
@@ -369,6 +590,14 @@ RunResult run_with_oracles(const ScenarioSpec& spec, const RunOptions& opts) {
                     parallel.fingerprint, " vs ", serial.fingerprint,
                     ", events ", parallel.events, " vs ", serial.events),
           0.0});
+    }
+  }
+  // Crash/recover oracle (docs/recovery.md): crash the controller at the
+  // spec's record index, recover from the surviving journal prefix, and
+  // demand the recovered run be byte- and state-equivalent to `first`.
+  if (spec.crash_at > 0) {
+    for (auto& violation : check_recovery(spec, first, opts)) {
+      first.violations.push_back(std::move(violation));
     }
   }
   return first;

@@ -144,6 +144,21 @@ std::vector<ScenarioSpec> candidates(const ScenarioSpec& spec) {
     next.dragon_queue = "fifo";
     push(next);
   }
+  // Crash-point reductions. Dropping the crash entirely (crash_at = 0)
+  // disables the recovery oracle, so recovery-only failures survive it —
+  // the shrinker keeps the crash when the bug needs one. Halving moves
+  // the crash earlier, toward a shorter journal prefix.
+  if (spec.crash_at > 0) {
+    ScenarioSpec next = spec;
+    next.crash_at = 0;
+    next.recover = true;
+    push(next);
+    if (spec.crash_at > 1) {
+      next = spec;
+      next.crash_at = spec.crash_at / 2;
+      push(next);
+    }
+  }
   if (spec.shards != 1) {
     ScenarioSpec next = spec;
     next.shards = 1;

@@ -166,6 +166,9 @@ std::string ScenarioSpec::to_string() const {
       out += fault_str(faults[i]);
     }
   }
+  // Emitted only when non-default so pre-recovery spec lines stay stable.
+  if (crash_at != 0) out += ";crash_at=" + std::to_string(crash_at);
+  if (!recover) out += ";recover=0";
   if (bug != "none") out += ";bug=" + bug;
   return out;
 }
@@ -217,6 +220,10 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
       for (const auto& token : split(value, ',')) {
         spec.faults.push_back(parse_fault(token));
       }
+    } else if (key == "crash_at") {
+      spec.crash_at = parse_u64(value, "crash_at");
+    } else if (key == "recover") {
+      spec.recover = parse_int(value, "recover") != 0;
     } else if (key == "bug") {
       spec.bug = value;
     } else {

@@ -61,9 +61,23 @@ struct ScenarioSpec {
 
   std::vector<FaultSpec> faults;
 
+  // Crash/recovery oracle dimensions (docs/recovery.md). crash_at > 0
+  // kills the controller once its durable journal holds that many records;
+  // run_with_oracles() then recovers by journal replay and demands the
+  // recovered run be byte-equivalent to the uninterrupted one. recover =
+  // false downgrades the oracle to "the surviving journal prefix parses
+  // cleanly" (survive-only, PR 3 semantics). These are oracle dimensions,
+  // not run dimensions: the journal header records the spec with both
+  // reset to defaults, so every crash point of a scenario shares one
+  // uninterrupted reference journal.
+  std::uint64_t crash_at = 0;
+  bool recover = true;
+
   // Deliberate defect injection, used to prove the checkers catch real
   // bugs: "none" | "overcommit" (a model of a double-booking scheduler
-  // that claims cores behind every placer's back and never releases).
+  // that claims cores behind every placer's back and never releases) |
+  // "state-loss" (a recovery path that forgets the pending fault schedule
+  // — only observable through the crash/recover oracle).
   std::string bug = "none";
 
   // Single-line `key=value;...` form; parse(to_string(s)) == s.

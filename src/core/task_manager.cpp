@@ -16,6 +16,18 @@ TaskManager::TaskManager(Session& session, Agent& agent)
   });
 }
 
+void TaskManager::on_transition(Task::TransitionHook hook) {
+  transition_hooks_.push_back(std::move(hook));
+  // Tasks hold one shared hook; fan out to every registered consumer in
+  // registration order. Rebuilt per registration so tasks submitted
+  // earlier keep the hook set that existed when they entered the system.
+  transition_hook_ = std::make_shared<const Task::TransitionHook>(
+      [hooks = transition_hooks_](const Task& task, TaskState from,
+                                  TaskState to) {
+        for (const auto& h : hooks) h(task, from, to);
+      });
+}
+
 std::string TaskManager::submit(TaskDescription description) {
   const std::string uid = session_.ids().next("task");
   auto task = std::make_shared<Task>(uid, std::move(description));

@@ -37,12 +37,11 @@ class TaskManager {
   }
 
   // Observes every state transition of every task submitted *after* this
-  // call (installed on the task before its first transition). One hook;
-  // invariant checkers (src/check) fan out internally if they need more.
-  void on_transition(Task::TransitionHook hook) {
-    transition_hook_ =
-        std::make_shared<const Task::TransitionHook>(std::move(hook));
-  }
+  // call (installed on the task before its first transition). Multiple
+  // consumers may register — invariant checkers (src/check) and the
+  // journal scribe (src/journal) coexist; hooks fire in registration
+  // order. Tasks already submitted keep the hook set they were given.
+  void on_transition(Task::TransitionHook hook);
 
   const Task& task(const std::string& uid) const;
 
@@ -69,6 +68,7 @@ class TaskManager {
   sim::Server intake_;
   obs::TraceHandle obs_trace_;
   std::unordered_map<std::string, std::shared_ptr<Task>> tasks_;
+  std::vector<Task::TransitionHook> transition_hooks_;
   std::shared_ptr<const Task::TransitionHook> transition_hook_;
   TaskHandler completion_handler_;
   std::size_t total_submitted_ = 0;

@@ -55,6 +55,18 @@ class DragonBackend : public platform::TaskBackend {
   int partitions() const { return static_cast<int>(runtimes_.size()); }
   Runtime& runtime(int i = 0) { return *runtimes_.at(static_cast<size_t>(i)); }
 
+  // Adds per-runtime health and capacity-queue depth: recovery must bring
+  // back the same partition topology, including which runtimes were down.
+  std::string restore_summary() const override {
+    std::string out = TaskBackend::restore_summary();
+    for (std::size_t i = 0; i < runtimes_.size(); ++i) {
+      out += "|r" + std::to_string(i) + "=" +
+             (runtimes_[i]->healthy() ? "up" : "down") + ":" +
+             std::to_string(runtimes_[i]->pending());
+    }
+    return out;
+  }
+
   // Fault injection: every runtime hangs during bootstrap; RP's startup
   // timeout must fire and report failure.
   void set_fail_bootstrap() {

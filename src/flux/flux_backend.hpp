@@ -56,6 +56,18 @@ class FluxBackend : public platform::TaskBackend {
   int partitions() const { return static_cast<int>(instances_.size()); }
   Instance& instance(int i) { return *instances_.at(static_cast<size_t>(i)); }
 
+  // Adds per-instance broker health and queue depth: recovery must bring
+  // back the same partition topology, including which brokers were down.
+  std::string restore_summary() const override {
+    std::string out = TaskBackend::restore_summary();
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+      out += "|i" + std::to_string(i) + "=" +
+             (instances_[i]->healthy() ? "up" : "down") + ":" +
+             std::to_string(instances_[i]->queue_depth());
+    }
+    return out;
+  }
+
   // Fault injection: simulates the i-th broker crashing.
   void crash_instance(int i, const std::string& reason = "broker lost");
   // Fault injection: makes bootstrap report failure.

@@ -1,0 +1,247 @@
+#include "journal/journal.hpp"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+
+namespace flotilla::journal {
+
+namespace {
+
+// One key=value field split out of a line body.
+struct Field {
+  std::string_view key;
+  std::string_view value;
+};
+
+// Splits "tag|k1=v1|k2=v2|...". Returns false on grammar violations
+// (missing '=' in a field).
+bool split_fields(std::string_view body, std::string_view& tag,
+                  std::vector<Field>& fields) {
+  const std::size_t bar = body.find('|');
+  tag = body.substr(0, bar);
+  fields.clear();
+  std::string_view rest =
+      bar == std::string_view::npos ? std::string_view{} : body.substr(bar + 1);
+  while (!rest.empty()) {
+    const std::size_t next = rest.find('|');
+    const std::string_view piece = rest.substr(0, next);
+    const std::size_t eq = piece.find('=');
+    if (eq == std::string_view::npos) return false;
+    fields.push_back({piece.substr(0, eq), piece.substr(eq + 1)});
+    rest = next == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(next + 1);
+  }
+  return true;
+}
+
+bool parse_i64(std::string_view text, std::int64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+bool parse_time(std::string_view text, sim::Time& out) {
+  // std::from_chars for double is not universally available; sscanf on a
+  // bounded copy is. The %.9f canonical form always fits.
+  std::array<char, 64> buf{};
+  if (text.empty() || text.size() >= buf.size()) return false;
+  text.copy(buf.data(), text.size());
+  double value = 0.0;
+  if (std::sscanf(buf.data(), "%lf", &value) != 1) return false;
+  out = value;
+  return true;
+}
+
+// Decodes one line body (checksum already stripped and verified) into
+// `record`. Enforces the canonical field order so that decode(encode(r))
+// round-trips and any hand-edited journal is rejected loudly.
+bool decode_body(std::string_view body, Record& record, std::string& error) {
+  std::string_view tag;
+  std::vector<Field> fields;
+  if (!split_fields(body, tag, fields)) {
+    error = "malformed field (missing '=')";
+    return false;
+  }
+  const auto expect = [&](std::size_t i, std::string_view key,
+                          std::string_view& value) {
+    if (i >= fields.size() || fields[i].key != key) {
+      error = "expected field '" + std::string(key) + "'";
+      return false;
+    }
+    value = fields[i].value;
+    return true;
+  };
+  const auto expect_i64 = [&](std::size_t i, std::string_view key,
+                              std::int64_t& out) {
+    std::string_view v;
+    if (!expect(i, key, v)) return false;
+    if (!parse_i64(v, out)) {
+      error = "bad integer in field '" + std::string(key) + "'";
+      return false;
+    }
+    return true;
+  };
+  const auto expect_time = [&](std::size_t i, sim::Time& out) {
+    std::string_view v;
+    if (!expect(i, "t", v)) return false;
+    if (!parse_time(v, out)) {
+      error = "bad time";
+      return false;
+    }
+    return true;
+  };
+  const auto check_arity = [&](std::size_t n) {
+    if (fields.size() != n) {
+      error = "wrong field count for '" + std::string(tag) + "'";
+      return false;
+    }
+    return true;
+  };
+
+  std::string_view v;
+  if (tag == "journal") {
+    record.type = RecordType::kHeader;
+    if (!check_arity(3)) return false;
+    if (!expect(0, "v", v)) return false;
+    std::int64_t version = 0;
+    if (!parse_i64(v, version) || version != 1) {
+      error = "unsupported journal version";
+      return false;
+    }
+    if (!expect(1, "seed", v) || !parse_u64(v, record.seed)) {
+      error = error.empty() ? "bad seed" : error;
+      return false;
+    }
+    if (!expect(2, "spec", v)) return false;
+    record.spec = std::string(v);
+    return true;
+  }
+  if (tag == "ready") {
+    record.type = RecordType::kReady;
+    if (!check_arity(1)) return false;
+    return expect_time(0, record.time);
+  }
+  if (tag == "task") {
+    record.type = RecordType::kTransition;
+    if (!check_arity(6)) return false;
+    if (!expect_time(0, record.time)) return false;
+    if (!expect(1, "uid", v)) return false;
+    record.uid = std::string(v);
+    if (!expect(2, "from", v)) return false;
+    record.from = std::string(v);
+    if (!expect(3, "to", v)) return false;
+    record.to = std::string(v);
+    if (!expect(4, "backend", v)) return false;
+    record.backend = std::string(v);
+    return expect_i64(5, "attempt", record.attempt);
+  }
+  if (tag == "alloc") {
+    record.type = RecordType::kAlloc;
+    if (!check_arity(4)) return false;
+    return expect_time(0, record.time) &&
+           expect_i64(1, "node", record.node) &&
+           expect_i64(2, "cores", record.cores) &&
+           expect_i64(3, "gpus", record.gpus);
+  }
+  if (tag == "fault") {
+    record.type = RecordType::kFault;
+    if (!check_arity(5)) return false;
+    if (!expect_time(0, record.time)) return false;
+    if (!expect(1, "kind", v)) return false;
+    record.kind = std::string(v);
+    if (!expect(2, "backend", v)) return false;
+    record.backend = std::string(v);
+    return expect_i64(3, "index", record.index) &&
+           expect_i64(4, "count", record.count);
+  }
+  if (tag == "end") {
+    record.type = RecordType::kEnd;
+    if (!check_arity(5)) return false;
+    if (!expect_time(0, record.time)) return false;
+    if (!expect_i64(1, "done", record.done)) return false;
+    if (!expect_i64(2, "failed", record.failed)) return false;
+    if (!expect_i64(3, "canceled", record.canceled)) return false;
+    if (!expect(4, "events", v) || !parse_u64(v, record.events)) {
+      error = error.empty() ? "bad event count" : error;
+      return false;
+    }
+    return true;
+  }
+  error = "unknown record tag '" + std::string(tag) + "'";
+  return false;
+}
+
+// Verifies and strips the trailing "|h=XXXXXXXX" checksum field.
+bool strip_checksum(std::string_view line, std::string_view& body,
+                    std::string& error) {
+  constexpr std::size_t kSuffix = 11;  // "|h=" + 8 hex digits
+  if (line.size() < kSuffix || line.substr(line.size() - kSuffix, 3) != "|h=") {
+    error = "missing checksum";
+    return false;
+  }
+  body = line.substr(0, line.size() - kSuffix);
+  const std::string_view hex = line.substr(line.size() - 8);
+  std::uint64_t stored = 0;
+  const auto [ptr, ec] = std::from_chars(
+      hex.data(), hex.data() + hex.size(), stored, 16);
+  if (ec != std::errc{} || ptr != hex.data() + hex.size()) {
+    error = "malformed checksum";
+    return false;
+  }
+  const std::uint32_t expected = fnv1a32(std::string(body) + "|h=");
+  if (static_cast<std::uint32_t>(stored) != expected) {
+    error = "checksum mismatch";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ReadResult read(std::string_view bytes) {
+  ReadResult out;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    const std::size_t nl = bytes.find('\n', pos);
+    const bool is_tail = nl == std::string_view::npos;
+    const std::string_view line =
+        is_tail ? bytes.substr(pos) : bytes.substr(pos, nl - pos);
+    std::string_view body;
+    std::string error;
+    Record record;
+    const bool ok = strip_checksum(line, body, error) &&
+                    decode_body(body, record, error);
+    if (!ok) {
+      if (is_tail) {
+        // Crash-mid-write artifact: tolerated, reported.
+        out.truncated = true;
+        out.truncated_bytes = line.size();
+      } else {
+        out.corrupt = true;
+        out.corrupt_index = out.records.size();
+        out.error = error;
+      }
+      return out;
+    }
+    if (is_tail) {
+      // A line that decodes but lacks its '\n' still counts as torn: the
+      // writer terminates every record, so the terminator itself is part
+      // of the durable unit.
+      out.truncated = true;
+      out.truncated_bytes = line.size();
+      return out;
+    }
+    out.records.push_back(std::move(record));
+    pos = nl + 1;
+  }
+  return out;
+}
+
+}  // namespace flotilla::journal

@@ -1,0 +1,182 @@
+#include "journal/record.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace flotilla::journal {
+
+namespace {
+
+// %.9f is the journal's canonical time form: fixed precision keeps the
+// bytes stable across runs, and re-encoding a decoded record reproduces
+// the exact same text (decimal -> nearest double -> same decimal).
+std::string time_str(sim::Time t) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9f", t);
+  return buf;
+}
+
+void put(std::string& line, std::string_view key, std::string_view value) {
+  for (const char c : value) {
+    if (c == '|' || c == '\n') {
+      util::raise("journal: field '", key, "' contains a record delimiter: ",
+                  value);
+    }
+  }
+  line += '|';
+  line += key;
+  line += '=';
+  line += value;
+}
+
+void put(std::string& line, std::string_view key, std::int64_t value) {
+  put(line, key, std::to_string(value));
+}
+
+void put(std::string& line, std::string_view key, std::uint64_t value) {
+  put(line, key, std::to_string(value));
+}
+
+}  // namespace
+
+std::string_view to_string(RecordType type) {
+  switch (type) {
+    case RecordType::kHeader:
+      return "journal";
+    case RecordType::kReady:
+      return "ready";
+    case RecordType::kTransition:
+      return "task";
+    case RecordType::kAlloc:
+      return "alloc";
+    case RecordType::kFault:
+      return "fault";
+    case RecordType::kEnd:
+      return "end";
+  }
+  return "?";
+}
+
+std::uint32_t fnv1a32(std::string_view text) {
+  std::uint32_t h = 2166136261u;
+  for (const unsigned char c : text) {
+    h ^= c;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+std::string Record::encode() const {
+  std::string line(to_string(type));
+  switch (type) {
+    case RecordType::kHeader:
+      put(line, "v", std::int64_t{1});
+      put(line, "seed", seed);
+      put(line, "spec", spec);
+      break;
+    case RecordType::kReady:
+      put(line, "t", time_str(time));
+      break;
+    case RecordType::kTransition:
+      put(line, "t", time_str(time));
+      put(line, "uid", uid);
+      put(line, "from", from);
+      put(line, "to", to);
+      put(line, "backend", backend);
+      put(line, "attempt", attempt);
+      break;
+    case RecordType::kAlloc:
+      put(line, "t", time_str(time));
+      put(line, "node", node);
+      put(line, "cores", cores);
+      put(line, "gpus", gpus);
+      break;
+    case RecordType::kFault:
+      put(line, "t", time_str(time));
+      put(line, "kind", kind);
+      put(line, "backend", backend);
+      put(line, "index", index);
+      put(line, "count", count);
+      break;
+    case RecordType::kEnd:
+      put(line, "t", time_str(time));
+      put(line, "done", done);
+      put(line, "failed", failed);
+      put(line, "canceled", canceled);
+      put(line, "events", events);
+      break;
+  }
+  line += "|h=";
+  char sum[16];
+  std::snprintf(sum, sizeof(sum), "%08x", fnv1a32(line));
+  line += sum;
+  line += '\n';
+  return line;
+}
+
+Record header_record(std::uint64_t seed, std::string spec) {
+  Record r;
+  r.type = RecordType::kHeader;
+  r.seed = seed;
+  r.spec = std::move(spec);
+  return r;
+}
+
+Record ready_record(sim::Time time) {
+  Record r;
+  r.type = RecordType::kReady;
+  r.time = time;
+  return r;
+}
+
+Record transition_record(sim::Time time, std::string uid, std::string from,
+                         std::string to, std::string backend,
+                         std::int64_t attempt) {
+  Record r;
+  r.type = RecordType::kTransition;
+  r.time = time;
+  r.uid = std::move(uid);
+  r.from = std::move(from);
+  r.to = std::move(to);
+  r.backend = std::move(backend);
+  r.attempt = attempt;
+  return r;
+}
+
+Record alloc_record(sim::Time time, std::int64_t node, std::int64_t cores,
+                    std::int64_t gpus) {
+  Record r;
+  r.type = RecordType::kAlloc;
+  r.time = time;
+  r.node = node;
+  r.cores = cores;
+  r.gpus = gpus;
+  return r;
+}
+
+Record fault_record(sim::Time time, std::string kind, std::string backend,
+                    std::int64_t index, std::int64_t count) {
+  Record r;
+  r.type = RecordType::kFault;
+  r.time = time;
+  r.kind = std::move(kind);
+  r.backend = std::move(backend);
+  r.index = index;
+  r.count = count;
+  return r;
+}
+
+Record end_record(sim::Time time, std::int64_t done, std::int64_t failed,
+                  std::int64_t canceled, std::uint64_t events) {
+  Record r;
+  r.type = RecordType::kEnd;
+  r.time = time;
+  r.done = done;
+  r.failed = failed;
+  r.canceled = canceled;
+  r.events = events;
+  return r;
+}
+
+}  // namespace flotilla::journal

@@ -1,0 +1,98 @@
+// Journal record model + byte-stable codec (docs/recovery.md).
+//
+// A journal is an append-only sequence of text records, one per line,
+// recording everything the control plane must not lose across a crash:
+// the run's identity (header), pilot readiness, every task lifecycle
+// edge, every node capacity change, every injected fault, and the final
+// summary. The codec is deterministic down to the byte — fixed-precision
+// times, fixed field order — so the same seed always produces the same
+// journal bytes (the recovery oracle in src/check compares journals
+// bit-for-bit, like the .prof exporter's byte-identity guarantee).
+//
+// Every line carries a trailing FNV-1a-32 checksum; the reader uses it to
+// distinguish a torn tail (a crash mid-write: the partial final line is
+// discarded and reported) from mid-stream corruption (a hard error with
+// the record index).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace flotilla::journal {
+
+enum class RecordType : std::uint8_t {
+  kHeader,      // run identity: seed + the serialized scenario/config line
+  kReady,       // pilot reported ready; recovery clocks makespan from here
+  kTransition,  // one task lifecycle edge (uid, from, to, backend, attempt)
+  kAlloc,       // node free-capacity delta (negative = allocation)
+  kFault,       // an injected fault fired (crash / cancel storm)
+  kEnd,         // terminal summary; present only on uninterrupted runs
+};
+
+// Stable wire tag ("journal", "ready", "task", "alloc", "fault", "end").
+std::string_view to_string(RecordType type);
+
+// One journal record. A single struct holds the union of all per-type
+// fields; encode()/decode() only read/write the fields of record's type,
+// in a fixed order, so the line grammar stays canonical.
+struct Record {
+  RecordType type = RecordType::kTransition;
+  sim::Time time = 0.0;  // virtual time; unused for kHeader
+
+  // kHeader.
+  std::uint64_t seed = 0;
+  std::string spec;  // serialized ScenarioSpec / tool config line
+
+  // kTransition.
+  std::string uid;
+  std::string from;
+  std::string to;
+  std::string backend;  // also kFault's crash target
+  std::int64_t attempt = 0;
+
+  // kAlloc: change of free capacity on `node` (negative = claimed).
+  std::int64_t node = 0;
+  std::int64_t cores = 0;
+  std::int64_t gpus = 0;
+
+  // kFault.
+  std::string kind;       // "crash" | "cancel"
+  std::int64_t index = 0;  // crash: partition/instance index
+  std::int64_t count = 0;  // cancel: storm size
+
+  // kEnd.
+  std::int64_t done = 0;
+  std::int64_t failed = 0;
+  std::int64_t canceled = 0;
+  std::uint64_t events = 0;
+
+  // One '\n'-terminated line with a trailing checksum field. Raises
+  // util::Error if any string field contains '|' or '\n' (the journal is
+  // single-line records by construction).
+  std::string encode() const;
+
+  // Two records are equal iff their canonical encodings are equal.
+  friend bool operator==(const Record& a, const Record& b) {
+    return a.encode() == b.encode();
+  }
+};
+
+// Convenience constructors for the record kinds the scribe emits.
+Record header_record(std::uint64_t seed, std::string spec);
+Record ready_record(sim::Time time);
+Record transition_record(sim::Time time, std::string uid, std::string from,
+                         std::string to, std::string backend,
+                         std::int64_t attempt);
+Record alloc_record(sim::Time time, std::int64_t node, std::int64_t cores,
+                    std::int64_t gpus);
+Record fault_record(sim::Time time, std::string kind, std::string backend,
+                    std::int64_t index, std::int64_t count);
+Record end_record(sim::Time time, std::int64_t done, std::int64_t failed,
+                  std::int64_t canceled, std::uint64_t events);
+
+// FNV-1a 32-bit over `text`, the per-line checksum primitive.
+std::uint32_t fnv1a32(std::string_view text);
+
+}  // namespace flotilla::journal

@@ -1,0 +1,77 @@
+#include "journal/recovery.hpp"
+
+#include "util/error.hpp"
+
+namespace flotilla::journal {
+
+namespace {
+
+bool is_terminal_state(const std::string& state) {
+  return state == "DONE" || state == "FAILED" || state == "CANCELED";
+}
+
+}  // namespace
+
+std::size_t StateImage::tasks_in_flight() const {
+  std::size_t n = 0;
+  for (const auto& [uid, task] : tasks) {
+    (void)uid;
+    if (task.terminal_edges == 0) ++n;
+  }
+  return n;
+}
+
+RecoveryManager::RecoveryManager(std::string_view bytes) {
+  ReadResult parsed = read(bytes);
+  if (parsed.corrupt) {
+    util::raise("journal: corrupt record #", parsed.corrupt_index, ": ",
+                parsed.error);
+  }
+  if (parsed.records.empty()) {
+    util::raise("journal: no intact records to recover from");
+  }
+  if (parsed.records.front().type != RecordType::kHeader) {
+    util::raise("journal: first record is not a header");
+  }
+  prefix_ = std::move(parsed.records);
+  seed_ = prefix_.front().seed;
+  spec_ = prefix_.front().spec;
+  truncated_ = parsed.truncated;
+  truncated_bytes_ = parsed.truncated_bytes;
+}
+
+StateImage RecoveryManager::image() const {
+  StateImage image;
+  for (const Record& r : prefix_) {
+    switch (r.type) {
+      case RecordType::kHeader:
+        break;
+      case RecordType::kReady:
+        image.ready = true;
+        image.ready_time = r.time;
+        break;
+      case RecordType::kTransition: {
+        auto& task = image.tasks[r.uid];
+        task.state = r.to;
+        task.backend = r.backend;
+        task.attempt = r.attempt;
+        if (is_terminal_state(r.to)) ++task.terminal_edges;
+        break;
+      }
+      case RecordType::kAlloc:
+        image.core_delta[r.node] += r.cores;
+        image.gpu_delta[r.node] += r.gpus;
+        break;
+      case RecordType::kFault:
+        ++image.faults;
+        break;
+      case RecordType::kEnd:
+        image.ended = true;
+        break;
+    }
+    if (r.type != RecordType::kHeader) image.last_time = r.time;
+  }
+  return image;
+}
+
+}  // namespace flotilla::journal

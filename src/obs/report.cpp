@@ -17,6 +17,10 @@ OverheadReport OverheadReport::from_trace(const Tracer& tracer) {
       open[{r.type, r.component, r.entity}].push_back(r.time);
       return;
     }
+    if (r.kind == RecordKind::kInstant) {
+      ++report.instants_[{r.type, r.component}];
+      return;
+    }
     if (r.kind != RecordKind::kEnd) return;
     auto it = open.find({r.type, r.component, r.entity});
     if (it == open.end() || it->second.empty()) {
@@ -31,6 +35,12 @@ OverheadReport OverheadReport::from_trace(const Tracer& tracer) {
     report.unclosed_begins_ += stack.size();
   }
   return report;
+}
+
+std::uint64_t OverheadReport::instants(SpanType type,
+                                       const std::string& component) const {
+  const auto it = instants_.find({type, component});
+  return it == instants_.end() ? 0 : it->second;
 }
 
 SpanStats OverheadReport::stats(SpanType type,
@@ -78,6 +88,9 @@ void OverheadReport::print(std::ostream& os) const {
   }
   os << "  fig7: scheduler_wait=" << scheduler_wait_total()
      << "s rp_core=" << rp_core_total() << "s\n";
+  if (journal_records() > 0) {
+    os << "  journal: records=" << journal_records() << "\n";
+  }
   if (unmatched_ends_ + unclosed_begins_ > 0) {
     os << "  (unmatched ends: " << unmatched_ends_
        << ", unclosed begins: " << unclosed_begins_ << ")\n";

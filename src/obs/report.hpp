@@ -70,6 +70,14 @@ class OverheadReport {
   std::uint64_t unmatched_ends() const { return unmatched_ends_; }
   std::uint64_t unclosed_begins() const { return unclosed_begins_; }
 
+  // Instant records per (span type, component) — e.g. routing decisions,
+  // placement attempts, durable journal appends (kJournal).
+  std::uint64_t instants(SpanType type, const std::string& component) const;
+  // Durable-journal row: total records the scribe appended (src/journal).
+  std::uint64_t journal_records() const {
+    return instants(SpanType::kJournal, "journal");
+  }
+
   // All (type, component) cells, deterministically ordered.
   const std::map<std::pair<SpanType, std::string>, SpanStats>& cells()
       const {
@@ -80,6 +88,7 @@ class OverheadReport {
 
  private:
   std::map<std::pair<SpanType, std::string>, SpanStats> cells_;
+  std::map<std::pair<SpanType, std::string>, std::uint64_t> instants_;
   std::uint64_t unmatched_ends_ = 0;
   std::uint64_t unclosed_begins_ = 0;
 };

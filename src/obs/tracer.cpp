@@ -30,6 +30,8 @@ std::string_view to_string(SpanType type) {
       return "placement_attempt";
     case SpanType::kStateCallback:
       return "state_callback";
+    case SpanType::kJournal:
+      return "journal";
   }
   return "?";
 }

@@ -46,6 +46,7 @@ enum class SpanType : std::uint8_t {
   kRouting,           // instant: agent routing decision (value = slot)
   kPlacementAttempt,  // instant: placer call (value: 1 placed, 0 rejected)
   kStateCallback,     // instant: final-state callback delivery
+  kJournal,           // instant: durable journal record appended
 };
 
 // Stable short name ("submit", "run", "bootstrap", ...) used by both

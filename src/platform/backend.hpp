@@ -102,6 +102,19 @@ class TaskBackend {
   // Backends with internal queues override this to include them.
   virtual bool quiescent() const { return inflight() == 0; }
 
+  // Recovery-path equivalence digest (docs/recovery.md): a deterministic
+  // one-line summary of the backend's externally observable state —
+  // health, in-flight work, and whatever internal structure the backend
+  // considers part of its restored identity (partition health, queue
+  // depths). After a journal-replay recovery, a backend's summary must
+  // equal the uninterrupted same-seed run's summary at the same virtual
+  // time; the backend_contract_test RecoveryContract suite asserts this
+  // for every backend.
+  virtual std::string restore_summary() const {
+    return name() + "|healthy=" + (healthy() ? "1" : "0") +
+           "|inflight=" + std::to_string(inflight());
+  }
+
   // Attaches the structured tracer (src/obs). Called before bootstrap;
   // backends propagate the handle to their instances, placers and queues.
   // The default keeps untraced backends untouched.

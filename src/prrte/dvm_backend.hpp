@@ -60,6 +60,14 @@ class DvmBackend : public platform::TaskBackend {
   sim::Time bootstrap_duration() const { return bootstrap_duration_; }
   std::uint64_t completed() const { return completed_; }
 
+  // Adds the spawn counter and active-task table size: the restored DVM
+  // must have spawned exactly the journaled amount of work.
+  std::string restore_summary() const override {
+    return TaskBackend::restore_summary() +
+           "|completed=" + std::to_string(completed_) +
+           "|active=" + std::to_string(active_.size());
+  }
+
   // Fault injection: the DVM head daemon dies.
   void crash(const std::string& reason = "dvm lost");
 

@@ -51,6 +51,13 @@ class SrunBackend : public platform::TaskBackend {
   Slurmctld& controller() { return ctld_; }
   std::int64_t active_sruns() const { return ceiling_->in_use(); }
 
+  // Adds the concurrent-srun ceiling occupancy: a restored backend must
+  // hold exactly as many srun slots as the uninterrupted run.
+  std::string restore_summary() const override {
+    return TaskBackend::restore_summary() +
+           "|active_sruns=" + std::to_string(active_sruns());
+  }
+
   // Attaches structured tracing: bootstrap span, queue-wait spans on the
   // concurrent-srun ceiling, and controller placement attempts.
   void set_trace(obs::TraceHandle handle) override {

@@ -9,12 +9,18 @@
 // fully returned after the run, clean failure semantics after shutdown.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "check/runner.hpp"
+#include "check/spec.hpp"
 #include "core/pilot.hpp"
+#include "journal/journal.hpp"
+#include "journal/recovery.hpp"
 #include "core/session.hpp"
 #include "core/task_manager.hpp"
 #include "dragon/dragon_backend.hpp"
@@ -403,6 +409,101 @@ TEST_P(LifecycleContract, DoubleCancelIsIdempotent) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, LifecycleContract,
+                         ::testing::Values("srun", "flux", "dragon", "prrte"),
+                         [](const auto& param_info) { return param_info.param; });
+
+// ------------------------------------------------- recovery contract
+//
+// Every runtime system must come back from a journal-replay recovery
+// (docs/recovery.md) indistinguishable from a run that never crashed:
+// the controller dies mid-campaign, restores from the surviving journal
+// prefix, and the recovered run must finish with only legal lifecycle
+// edges, exactly one terminal edge per task, and a restore_summary()
+// digest equal to the uninterrupted same-seed run's.
+
+class RecoveryContract : public ::testing::TestWithParam<std::string> {};
+
+check::ScenarioSpec recovery_spec(const std::string& backend) {
+  check::ScenarioSpec spec;
+  spec.seed = 77;
+  spec.nodes = 4;
+  spec.backends = {{backend}};
+  spec.workload = "sleep";
+  spec.tasks = 20;
+  spec.duration = 2.0;
+  return spec;
+}
+
+TEST_P(RecoveryContract, RestoresFromMidCampaignJournal) {
+  const auto spec = recovery_spec(GetParam());
+  check::RunOptions jopts;
+  jopts.journal = true;
+
+  // The uninterrupted reference run.
+  const auto reference = check::run_scenario(spec, jopts);
+  ASSERT_TRUE(reference.ok()) << reference.violations.front().to_string();
+  ASSERT_FALSE(reference.backend_summaries.empty());
+
+  // Crash mid-campaign: roughly halfway through the journal, when tasks
+  // are demonstrably in flight.
+  const auto records = static_cast<std::uint64_t>(std::count(
+      reference.journal.begin(), reference.journal.end(), '\n'));
+  check::RunOptions copts = jopts;
+  copts.crash_at = records / 2;
+  const auto crashed = check::run_scenario(spec, copts);
+  ASSERT_TRUE(crashed.crashed);
+
+  const journal::RecoveryManager rm(crashed.journal);
+  EXPECT_GT(rm.image().tasks_in_flight(), 0u)
+      << "the crash point must leave a genuinely mid-campaign state";
+
+  // Recover: re-execute, validating every record against the prefix. The
+  // invariant monitor runs throughout, so any illegal lifecycle edge on
+  // the recovered path is a violation.
+  check::RunOptions ropts;
+  ropts.journal = true;
+  ropts.recovery = &rm;
+  const auto recovered =
+      check::run_scenario(check::ScenarioSpec::parse(rm.spec_line()), ropts);
+  EXPECT_TRUE(recovered.ok()) << recovered.violations.front().to_string();
+
+  // Exactly one terminal edge per task in the recovered journal.
+  const auto parsed = journal::read(recovered.journal);
+  ASSERT_TRUE(parsed.intact());
+  std::map<std::string, int> terminal_edges;
+  for (const auto& record : parsed.records) {
+    if (record.type != journal::RecordType::kTransition) continue;
+    if (record.to == "DONE" || record.to == "FAILED" ||
+        record.to == "CANCELED") {
+      ++terminal_edges[record.uid];
+    }
+  }
+  EXPECT_EQ(terminal_edges.size(), static_cast<std::size_t>(spec.tasks));
+  for (const auto& [uid, edges] : terminal_edges) {
+    EXPECT_EQ(edges, 1) << uid << " must reach exactly one terminal state";
+  }
+
+  // The recovered run is byte- and digest-equivalent to never crashing.
+  EXPECT_EQ(recovered.journal, reference.journal);
+  EXPECT_EQ(recovered.backend_summaries, reference.backend_summaries)
+      << GetParam() << " restore_summary() diverged after recovery";
+}
+
+TEST_P(RecoveryContract, RestoreSummaryReflectsBackendState) {
+  // The digest itself: deterministic, prefixed with the backend name, and
+  // equal across same-seed runs (the RecoveryContract's comparison key).
+  const auto spec = recovery_spec(GetParam());
+  const auto first = check::run_scenario(spec);
+  const auto second = check::run_scenario(spec);
+  ASSERT_FALSE(first.backend_summaries.empty());
+  EXPECT_EQ(first.backend_summaries, second.backend_summaries);
+  for (const auto& summary : first.backend_summaries) {
+    EXPECT_NE(summary.find("|healthy=1"), std::string::npos) << summary;
+    EXPECT_NE(summary.find("|inflight=0"), std::string::npos) << summary;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, RecoveryContract,
                          ::testing::Values("srun", "flux", "dragon", "prrte"),
                          [](const auto& param_info) { return param_info.param; });
 

@@ -59,6 +59,27 @@ TEST(ScenarioSpec, RoundTripsFaultsAndBugField) {
   EXPECT_EQ(parsed.backends[0].flux_backfill_depth, 8);
 }
 
+TEST(ScenarioSpec, RoundTripsCrashRecoverDimensions) {
+  ScenarioSpec spec;
+  spec.seed = 5;
+  spec.crash_at = 17;
+  const auto line = spec.to_string();
+  EXPECT_NE(line.find(";crash_at=17"), std::string::npos) << line;
+  EXPECT_EQ(line.find(";recover="), std::string::npos)
+      << "recover=true is the default and must not be emitted";
+  EXPECT_EQ(ScenarioSpec::parse(line).crash_at, 17u);
+  spec.recover = false;
+  const auto survive = spec.to_string();
+  EXPECT_NE(survive.find(";recover=0"), std::string::npos) << survive;
+  const auto parsed = ScenarioSpec::parse(survive);
+  EXPECT_EQ(parsed.crash_at, 17u);
+  EXPECT_FALSE(parsed.recover);
+  EXPECT_EQ(parsed.to_string(), survive);
+  // Pre-recovery spec lines stay parseable and stable (no crash keys).
+  ScenarioSpec def;
+  EXPECT_EQ(def.to_string().find("crash_at"), std::string::npos);
+}
+
 TEST(ScenarioSpec, ParseRejectsGarbage) {
   EXPECT_THROW(ScenarioSpec::parse("frobnicate=1"), util::Error);
   EXPECT_THROW(ScenarioSpec::parse("nodes"), util::Error);
@@ -178,6 +199,63 @@ TEST(Runner, ReplayOfSerializedSpecIsBitIdentical) {
   EXPECT_EQ(direct.done, replayed.done);
 }
 
+// ------------------------------------------------ crash/recover oracle
+
+TEST(Recovery, TwoHundredSeededCrashScenariosRecoverByteEquivalent) {
+  // The acceptance sweep (docs/recovery.md): 200 seeded crash/recover
+  // scenarios across all four backends, each crashed at a seeded record
+  // index, recovered from the surviving journal prefix, and required to
+  // finish byte- and state-equivalent to the uninterrupted run. Kept
+  // bounded by using small scenarios; the nightly CI leg runs the same
+  // oracle over full generated scenarios.
+  const char* const backends[] = {"srun", "flux", "dragon", "prrte"};
+  RunOptions jopts;
+  jopts.journal = true;
+  int swept = 0;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    ScenarioSpec spec;
+    spec.seed = seed;
+    spec.nodes = 2 + static_cast<int>(seed % 3);
+    spec.backends = {{backends[seed % 4]}};
+    spec.workload = "sleep";
+    spec.tasks = 4 + static_cast<int>(seed % 6);
+    spec.duration = 1.0 + 0.25 * static_cast<double>(seed % 4);
+    if (seed % 3 == 0) {
+      spec.faults.push_back({FaultSpec::Kind::kCancelStorm, 2.0, "", 0, 2});
+    }
+    const auto reference = run_scenario(spec, jopts);
+    ASSERT_TRUE(reference.ok()) << "seed " << seed << ": "
+                                << reference.violations.front().to_string();
+    const auto records = static_cast<std::uint64_t>(std::count(
+        reference.journal.begin(), reference.journal.end(), '\n'));
+    spec.crash_at = 1 + (seed * 7919) % records;  // seeded crash index
+    spec.recover = seed % 10 != 0;  // every tenth: survive-only mode
+    const auto violations = check_recovery(spec, reference);
+    EXPECT_TRUE(violations.empty())
+        << "seed " << seed << " crash_at=" << spec.crash_at << ": "
+        << violations.front().to_string();
+    ++swept;
+  }
+  EXPECT_EQ(swept, 200);
+}
+
+TEST(Recovery, OracleRunsInsideRunWithOracles) {
+  // crash_at on a spec routes through run_with_oracles: base runs journal,
+  // and the recovery oracle executes without violations on a clean spec.
+  ScenarioSpec spec;
+  spec.seed = 23;
+  spec.nodes = 3;
+  spec.backends = {{"flux"}};
+  spec.workload = "sleep";
+  spec.tasks = 8;
+  spec.duration = 1.5;
+  spec.crash_at = 20;
+  const auto result = run_with_oracles(spec);
+  EXPECT_TRUE(result.ok()) << result.violations.front().to_string();
+  EXPECT_FALSE(result.journal.empty())
+      << "a crash_at spec must journal its base runs";
+}
+
 // ------------------------------------- injected bug: caught then shrunk
 
 TEST(Runner, InjectedOvercommitIsCaughtByConservation) {
@@ -226,6 +304,52 @@ TEST(Shrinker, ReducesOvercommitFailureToMinimalReplayableSpec) {
   EXPECT_EQ(shrunk.spec.workload, "null");
   EXPECT_EQ(shrunk.spec.bug, "overcommit");  // the defect itself survives
   EXPECT_LE(shrunk.spec.nodes, 2);
+}
+
+TEST(Runner, InjectedStateLossIsCaughtAndShrunk) {
+  // The seeded recovery defect: a controller that "recovers" but drops its
+  // fault schedule. Invisible to every uninterrupted-run invariant — only
+  // the crash/recover oracle can see it, as a journal divergence once the
+  // dropped fault fails to fire during replay.
+  ScenarioSpec spec;
+  spec.seed = 11;
+  spec.nodes = 4;
+  spec.backends = {{"srun"}};
+  spec.workload = "sleep";
+  spec.tasks = 24;
+  spec.duration = 5.0;
+  spec.faults.push_back({FaultSpec::Kind::kCancelStorm, 6.0, "", 0, 8});
+  spec.crash_at = 10;
+  spec.bug = "state-loss";
+
+  const auto result = run_with_oracles(spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(has_violation(result, "recovery"))
+      << "state loss must surface through the recovery oracle";
+  // Inert without a crash: the bug only bites on the recovery path.
+  ScenarioSpec uncrashed = spec;
+  uncrashed.crash_at = 0;
+  EXPECT_TRUE(run_with_oracles(uncrashed).ok());
+
+  // Shrinks to a minimal spec that keeps the ingredients the bug needs:
+  // the crash point, the fault schedule, and the defect flag.
+  const auto shrunk = shrink(
+      spec,
+      [](const ScenarioSpec& candidate) {
+        return !run_with_oracles(candidate).ok();
+      },
+      200);
+  EXPECT_GT(shrunk.spec.crash_at, 0u);
+  EXPECT_TRUE(shrunk.spec.recover);
+  EXPECT_FALSE(shrunk.spec.faults.empty());
+  EXPECT_EQ(shrunk.spec.bug, "state-loss");
+
+  // Still failing, still replayable from its serialized form — the
+  // flotilla-fuzz --replay workflow.
+  const auto replay = ScenarioSpec::parse(shrunk.spec.to_string());
+  const auto replayed = run_with_oracles(replay);
+  EXPECT_FALSE(replayed.ok());
+  EXPECT_TRUE(has_violation(replayed, "recovery"));
 }
 
 TEST(Shrinker, LeavesPassingSpecsAlone) {

@@ -7,6 +7,7 @@
 //
 //   flotilla-fuzz --scenarios 500                  # fuzz seeds 1..500
 //   flotilla-fuzz --replay 'seed=7;nodes=2;...'    # re-run one spec
+//   flotilla-fuzz --crash-all 'seed=7;nodes=2;...' # crash at EVERY record
 //
 // Exit codes: 0 = all scenarios clean, 1 = a failure was found (the
 // minimized spec and its replay command are printed, and written to
@@ -73,6 +74,9 @@ int main(int argc, char** argv) {
   cli.option("scenarios", "100", "number of scenarios to generate and run")
       .option("seed-base", "1", "seed of the first scenario (then +1 each)")
       .option("replay", "", "run exactly one serialized scenario spec")
+      .option("crash-all", "",
+              "crash-at-every-event sweep: run one spec's recovery oracle "
+              "at every journal record index (docs/recovery.md)")
       .option("minimized-out", "",
               "file to write the minimized failing spec to")
       .option("max-events", "0", "per-run event budget (0 = automatic)")
@@ -88,6 +92,45 @@ int main(int argc, char** argv) {
     const bool no_shrink = cli.get_flag("no-shrink");
     const bool verbose = cli.get_flag("verbose");
     const std::string minimized_out = cli.get("minimized-out");
+
+    if (!cli.get("crash-all").empty()) {
+      // Exhaustive crash sweep: one uninterrupted reference run, then the
+      // recovery oracle at every possible crash index. The header strips
+      // crash_at/recover, so the single reference journal is valid for
+      // every crash point of the scenario.
+      auto spec = ScenarioSpec::parse(cli.get("crash-all"));
+      spec.crash_at = 0;
+      spec.recover = true;
+      RunOptions jopts = opts;
+      jopts.journal = true;
+      const auto reference = flotilla::check::run_scenario(spec, jopts);
+      if (!reference.ok()) {
+        std::cout << "reference run FAILED before any crash injection:\n";
+        print_violations(reference);
+        return report_failure(spec, opts, no_shrink, minimized_out);
+      }
+      const auto records = static_cast<std::uint64_t>(std::count(
+          reference.journal.begin(), reference.journal.end(), '\n'));
+      std::cout << "crash-all: " << spec.to_string() << "\n"
+                << "reference journal: " << records << " records, "
+                << reference.journal.size() << " bytes\n";
+      for (std::uint64_t k = 1; k <= records; ++k) {
+        ScenarioSpec crashed = spec;
+        crashed.crash_at = k;
+        const auto violations =
+            flotilla::check::check_recovery(crashed, reference, opts);
+        if (!violations.empty()) {
+          std::cout << "crash_at=" << k << " FAILED:\n";
+          for (const auto& v : violations) {
+            std::cout << "  " << v.to_string() << "\n";
+          }
+          return report_failure(crashed, opts, no_shrink, minimized_out);
+        }
+        if (verbose) std::cout << "crash_at=" << k << " ok\n";
+      }
+      std::cout << records << " crash points, recovery equivalent at all\n";
+      return 0;
+    }
 
     if (!cli.get("replay").empty()) {
       const auto spec = ScenarioSpec::parse(cli.get("replay"));

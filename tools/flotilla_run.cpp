@@ -14,6 +14,8 @@
 
 #include "analytics/session_report.hpp"
 #include "core/flotilla.hpp"
+#include "journal/recovery.hpp"
+#include "journal/scribe.hpp"
 #include "obs/export.hpp"
 #include "obs/report.hpp"
 #include "platform/spec_config.hpp"
@@ -44,6 +46,12 @@ int main(int argc, char** argv) {
       .option("prof", "", "write an RP-profiler-style .prof CSV to this path")
       .option("trace-capacity", "0",
               "trace ring-buffer capacity in records (0 = default 1M)")
+      .option("journal", "",
+              "record a durable event journal to this path (docs/recovery.md)")
+      .option("recover", "",
+              "recover from a journal at this path: re-execute the run, "
+              "validating every record against the surviving prefix "
+              "(requires the same flags as the journaled run)")
       .flag("report", "print the per-phase session report");
 
   try {
@@ -80,6 +88,59 @@ int main(int argc, char** argv) {
                                  ? static_cast<std::size_t>(capacity)
                                  : obs::Tracer::kDefaultCapacity);
     }
+    // Durable journal / recovery (docs/recovery.md). The header records
+    // the tool settings that shape the run; --recover demands they match
+    // the journaled run's, since recovery re-executes from the seed.
+    const auto journal_path = cli.get("journal");
+    const auto recover_path = cli.get("recover");
+    if (!journal_path.empty() && !recover_path.empty()) {
+      std::cerr << "--journal and --recover are mutually exclusive\n";
+      return 2;
+    }
+    const std::string settings_line =
+        "tool=flotilla-run;backend=" + cli.get("backend") +
+        ";nodes=" + std::to_string(nodes) +
+        ";partitions=" + cli.get("partitions") +
+        ";workload=" + cli.get("workload") +
+        ";tasks=" + cli.get("tasks") + ";duration=" + cli.get("duration") +
+        ";cores=" + cli.get("cores") + ";seed=" + std::to_string(seed) +
+        ";router=" + cli.get("router");
+    std::unique_ptr<journal::RecoveryManager> recovery;
+    std::unique_ptr<journal::Scribe> scribe;
+    if (!recover_path.empty()) {
+      std::ifstream in(recover_path, std::ios::binary);
+      if (!in) {
+        std::cerr << "cannot open --recover '" << recover_path << "'\n";
+        return 2;
+      }
+      std::stringstream bytes;
+      bytes << in.rdbuf();
+      recovery = std::make_unique<journal::RecoveryManager>(bytes.str());
+      if (recovery->spec_line() != settings_line ||
+          recovery->seed() != seed) {
+        std::cerr << "journal was recorded with different settings:\n  "
+                  << recovery->spec_line() << "\nthis invocation:\n  "
+                  << settings_line << "\n";
+        return 2;
+      }
+      const auto image = recovery->image();
+      std::cout << "recovering from " << recover_path << ": "
+                << recovery->prefix().size() << " records ("
+                << image.tasks.size() << " tasks journaled, "
+                << image.tasks_in_flight() << " in flight"
+                << (recovery->truncated()
+                        ? ", torn tail of " +
+                              std::to_string(recovery->truncated_bytes()) +
+                              " bytes discarded"
+                        : "")
+                << ")\n";
+      scribe = std::make_unique<journal::Scribe>(session,
+                                                 recovery->prefix());
+    } else if (!journal_path.empty()) {
+      scribe = std::make_unique<journal::Scribe>(session);
+    }
+    if (scribe) scribe->record_header(seed, settings_line);
+
     core::PilotManager pmgr(session);
 
     core::PilotDescription pdesc;
@@ -114,7 +175,9 @@ int main(int argc, char** argv) {
       std::cerr << "pilot failed to launch: " << error << "\n";
       return 1;
     }
+    if (scribe) scribe->record_ready();
     core::TaskManager tmgr(session, pilot.agent());
+    if (scribe) scribe->attach(tmgr);
     tmgr.on_complete([](const core::Task&) {});
 
     const auto workload = cli.get("workload");
@@ -148,6 +211,43 @@ int main(int argc, char** argv) {
     }
 
     session.run();
+
+    const auto& final_metrics = pilot.agent().profiler().metrics();
+    if (scribe) {
+      scribe->record_end(
+          static_cast<std::int64_t>(final_metrics.tasks_done()),
+          static_cast<std::int64_t>(final_metrics.tasks_failed()), 0,
+          session.engine().processed());
+    }
+    if (!journal_path.empty()) {
+      std::ofstream out(journal_path, std::ios::binary);
+      if (!out) {
+        std::cerr << "cannot open --journal '" << journal_path << "'\n";
+        return 2;
+      }
+      out << scribe->writer().bytes();
+      std::cout << "journal: " << journal_path << " (" << scribe->records()
+                << " records, " << scribe->writer().bytes().size()
+                << " bytes)\n";
+    }
+    if (recovery) {
+      if (scribe->diverged()) {
+        const auto& d = scribe->divergence();
+        std::cerr << "recovery FAILED: replay diverged from the journal at "
+                  << "record #" << d.index << "\n  expected: " << d.expected
+                  << "  got:      " << d.got;
+        return 1;
+      }
+      if (!scribe->replay_complete()) {
+        std::cerr << "recovery FAILED: replay ended after "
+                  << scribe->cursor() << " of "
+                  << recovery->prefix().size() << " journaled records\n";
+        return 1;
+      }
+      std::cout << "recovery ok: " << recovery->prefix().size()
+                << " journaled records validated, run continued to "
+                << scribe->records() << " records\n";
+    }
 
     const auto& metrics = pilot.agent().profiler().metrics();
     std::cout << "backend=" << backend << " nodes=" << nodes
