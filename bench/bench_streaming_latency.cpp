@@ -2,29 +2,52 @@
 //
 // §2 motivates "bursts of high-throughput, concurrent inference tasks" and
 // streaming pipelines that need "rapid data exchange without blocking
-// synchronization". Throughput benchmarks hide the user-visible metric for
-// such services: task *turnaround latency*. This bench drives a
-// Dragon-backed pilot with Poisson arrivals of function tasks at rising
-// rates and reports the p50/p99 turnaround — showing the saturation knee
-// as the offered load approaches the dispatcher's capacity.
+// synchronization". Throughput benchmarks hide the user-visible metrics
+// for such services: submit->launch latency (how long a client waits
+// before its payload starts) and full turnaround. This bench puts a
+// simulated 10^6-client population behind the service-mode ingress path
+// (docs/ingress.md) — Poisson offers, admission control, amortized intake
+// batching — in front of a Dragon-backed pilot, sweeps the offered rate
+// through the dispatcher's saturation knee, and reports p50/p99/p999.
+//
+// Measurement note: an earlier revision timed turnaround from
+// kTmgrScheduling, i.e. after the offer had already cleared intake — which
+// hid the client-side intake/batch wait exactly where it matters (past the
+// knee). Both histograms now start at the client's accepted offer
+// (IngressService records them; see EXPERIMENTS.md).
+//
+// Machine-readable output: "KV key=value" lines feed
+// scripts/bench_snapshot.sh; submit_launch_p{50,99,999}_ms come from the
+// fixed below-knee SLO point (700 t/s offered) and
+// ingress_sustained_rate_per_s is the peak served rate over the sweep.
+// Both are gated against BENCH_baseline.json by scripts/bench_compare.py.
+//
+// FLOTILLA_BENCH_QUICK=1 trims the sweep and the per-rate offer count so
+// CI smoke stays in seconds; the SLO point is measured in both modes.
+#include <cstdlib>
 #include <iostream>
 
 #include "analytics/latency.hpp"
 #include "harness.hpp"
-#include "workloads/synthetic.hpp"
-#include "workloads/trace_replay.hpp"
+#include "ingress/ingress.hpp"
 
 using namespace flotilla;
 using namespace flotilla::bench;
 
 namespace {
 
+constexpr double kSloRate = 700.0;  // below-knee point the KV gate pins
+constexpr int kClients = 1'000'000;
+
 struct LatencyResult {
+  double served_rate = 0.0;
+  double submit_launch_p50_ms = 0.0;
+  double submit_launch_p99_ms = 0.0;
+  double submit_launch_p999_ms = 0.0;
   analytics::LatencyHistogram turnaround;
-  double completed_rate = 0.0;
 };
 
-LatencyResult run_at_rate(double rate_per_s) {
+LatencyResult run_at_rate(double rate_per_s, int offers) {
   core::Session session(platform::frontier_spec(), 16, 42);
   core::PilotManager pmgr(session);
   auto& pilot = pmgr.submit({.nodes = 16, .backends = {{"dragon"}}});
@@ -32,47 +55,75 @@ LatencyResult run_at_rate(double rate_per_s) {
   session.run(60.0);
   core::TaskManager tmgr(session, pilot.agent());
 
-  LatencyResult result;
-  tmgr.on_complete([&](const core::Task& task) {
-    sim::Time submitted = 0, done = 0;
-    if (task.state_time(core::TaskState::kTmgrScheduling, submitted) &&
-        task.state_time(core::TaskState::kDone, done)) {
-      result.turnaround.record(done - submitted);
-    }
-  });
+  ingress::IngressConfig config;
+  config.clients = kClients;
+  config.arrival.kind = ingress::ArrivalKind::kPoisson;
+  config.arrival.rate = rate_per_s;
+  // The sweep measures queueing, not shedding: an effectively unbounded
+  // intake keeps every offer admitted so the knee shows up as latency.
+  config.admit.capacity = static_cast<std::size_t>(offers) + 1;
+  config.total_offers = offers;
+  ingress::IngressService svc(session, tmgr, config);
 
   core::TaskDescription proto;
   proto.demand.cores = 1;
   proto.duration = 0.5;  // the inference itself
   proto.modality = platform::TaskModality::kFunction;
-  const int n = 6000;
-  workloads::replay(tmgr, workloads::poisson_arrivals(n, rate_per_s, proto, 7),
-                    session.now());
+  svc.start({proto});
   session.run();
-  const auto& metrics = pilot.agent().profiler().metrics();
-  result.completed_rate = metrics.window_throughput();
+
+  LatencyResult result;
+  const auto& lat = svc.submit_to_launch();
+  result.submit_launch_p50_ms = lat.percentile(0.50) * 1e3;
+  result.submit_launch_p99_ms = lat.percentile(0.99) * 1e3;
+  result.submit_launch_p999_ms = lat.percentile(0.999) * 1e3;
+  result.turnaround = svc.turnaround();
+  result.served_rate = pilot.agent().profiler().metrics().window_throughput();
   return result;
 }
 
 }  // namespace
 
 int main() {
-  std::cout << "=== Extension: inference-service turnaround latency vs "
-               "offered load (dragon, 16 nodes) ===\n";
-  Table table({"arrival rate [t/s]", "served [t/s]", "p50 [s]", "p99 [s]",
-               "max [s]"});
-  for (const double rate : {200.0, 500.0, 700.0, 850.0, 950.0, 1100.0}) {
-    const auto result = run_at_rate(rate);
-    table.add_row({fixed(rate, 0), fixed(result.completed_rate),
+  const bool quick = std::getenv("FLOTILLA_BENCH_QUICK") != nullptr;
+  const int offers = quick ? 1500 : 6000;
+  std::vector<double> rates = {200.0, 500.0, kSloRate, 850.0, 950.0, 1100.0};
+  if (quick) rates = {200.0, kSloRate, 1100.0};
+
+  std::cout << "=== Extension: inference-service latency vs offered load "
+               "(10^6 clients -> ingress -> dragon, 16 nodes"
+            << (quick ? ", quick" : "") << ") ===\n";
+  Table table({"arrival rate [t/s]", "served [t/s]", "s->l p50 [ms]",
+               "s->l p99 [ms]", "s->l p999 [ms]", "turnaround p50 [s]",
+               "turnaround p99 [s]"});
+  double slo_p50 = 0.0, slo_p99 = 0.0, slo_p999 = 0.0;
+  double sustained = 0.0;
+  for (const double rate : rates) {
+    const auto result = run_at_rate(rate, offers);
+    table.add_row({fixed(rate, 0), fixed(result.served_rate),
+                   fixed(result.submit_launch_p50_ms, 2),
+                   fixed(result.submit_launch_p99_ms, 2),
+                   fixed(result.submit_launch_p999_ms, 2),
                    fixed(result.turnaround.percentile(0.50), 3),
-                   fixed(result.turnaround.percentile(0.99), 3),
-                   fixed(result.turnaround.max(), 2)});
+                   fixed(result.turnaround.percentile(0.99), 3)});
+    if (rate == kSloRate) {
+      slo_p50 = result.submit_launch_p50_ms;
+      slo_p99 = result.submit_launch_p99_ms;
+      slo_p999 = result.submit_launch_p999_ms;
+    }
+    if (result.served_rate > sustained) sustained = result.served_rate;
   }
   table.print();
   table.write_csv("extension_streaming_latency.csv");
-  std::cout << "  Below the dispatcher's capacity, turnaround is the 0.5 s "
-               "payload plus\n  milliseconds of middleware; past the knee, "
-               "queueing delay dominates —\n  the latency-vs-throughput "
-               "trade §2's streaming use cases care about.\n";
+  std::cout << "  Below the dispatcher's capacity, submit->launch is "
+               "milliseconds of intake\n  and placement; past the knee the "
+               "bounded-intake wait dominates the tail —\n  the "
+               "latency-vs-throughput trade §2's streaming use cases care "
+               "about.\n";
+  std::cout << "KV submit_launch_p50_ms=" << fixed(slo_p50, 3) << "\n";
+  std::cout << "KV submit_launch_p99_ms=" << fixed(slo_p99, 3) << "\n";
+  std::cout << "KV submit_launch_p999_ms=" << fixed(slo_p999, 3) << "\n";
+  std::cout << "KV ingress_sustained_rate_per_s=" << fixed(sustained, 2)
+            << "\n";
   return 0;
 }

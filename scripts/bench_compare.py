@@ -37,6 +37,13 @@ METRICS = {
     # parallelism exists, so a checked-in baseline cannot gate it.
     "storm_speedup": None,
     "makespan_s": "lower",
+    # Ingress tail-latency SLO (bench_streaming_latency): submit->launch
+    # percentiles at the fixed below-knee offered rate regress when they
+    # rise; the peak served rate over the sweep regresses when it drops.
+    "submit_launch_p50_ms": "lower",
+    "submit_launch_p99_ms": "lower",
+    "submit_launch_p999_ms": "lower",
+    "ingress_sustained_rate_per_s": "higher",
     "bench_throughput_wall_s": None,
     "bench_impeccable_wall_s": None,
 }
@@ -74,6 +81,30 @@ def load(path, role):
     return data
 
 
+def metric_value(snapshot, metric, role):
+    """Coerces a metric to float, exiting 2 with a labeled message (no
+    traceback) when a snapshot carries a non-numeric value — e.g. a bench
+    whose KV line went missing leaves an empty string in the JSON field,
+    or a histogram key that printed 'nan'/garbage."""
+    try:
+        value = float(snapshot[metric])
+    except (TypeError, ValueError):
+        print(
+            f"bench_compare: {role} snapshot metric {metric!r} is not "
+            f"numeric (got {snapshot[metric]!r}); re-run the bench step",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    if value != value:  # NaN: a histogram percentile over zero samples
+        print(
+            f"bench_compare: {role} snapshot metric {metric!r} is NaN "
+            "(empty histogram?); re-run the bench step",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    return value
+
+
 def evaluate(baseline, current, tolerance):
     """Returns (rows, regressions). Each row is a dict for the table."""
     rows = []
@@ -89,15 +120,15 @@ def evaluate(baseline, current, tolerance):
             rows.append(
                 {
                     "metric": metric,
-                    "baseline": float(baseline[metric]),
+                    "baseline": metric_value(baseline, metric, "baseline"),
                     "current": None,
                     "delta": None,
                     "status": "MISSING",
                 }
             )
             continue
-        base = float(baseline[metric])
-        cur = float(current[metric])
+        base = metric_value(baseline, metric, "baseline")
+        cur = metric_value(current, metric, "current")
         delta = (cur - base) / base if base != 0 else 0.0
         if direction == "higher":
             regressed = cur < base * (1.0 - tolerance)

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Scheduling-performance snapshot: runs the placement-bound microbench
-# (bench_sched) plus the two end-to-end campaign benches the paper's
-# headline figures ride on (bench_throughput, bench_impeccable) and writes
-# BENCH_sched.json so the perf trajectory is tracked across PRs.
+# (bench_sched), the ingress tail-latency bench (bench_streaming_latency,
+# whose submit->launch SLO percentiles and sustained rate are gated), plus
+# the two end-to-end campaign benches the paper's headline figures ride on
+# (bench_throughput, bench_impeccable) and writes BENCH_sched.json so the
+# perf trajectory is tracked across PRs.
 #
 #   scripts/bench_snapshot.sh [build-dir] [output-json]
 #
@@ -15,7 +17,8 @@ out=${2:-BENCH_sched.json}
 
 cd "$(dirname "$0")/.."
 
-for bench in bench_sched bench_throughput bench_impeccable; do
+for bench in bench_sched bench_streaming_latency bench_throughput \
+             bench_impeccable; do
   if [ ! -x "$build_dir/bench/$bench" ]; then
     echo "bench_snapshot: $build_dir/bench/$bench missing" \
          "(cmake --build $build_dir --target $bench first)" >&2
@@ -47,6 +50,16 @@ scratch=$(mktemp -d)
 trap 'rm -rf "$scratch"' EXIT
 bench_bin=$(cd "$build_dir/bench" && pwd)
 
+# bench_streaming_latency prints the gated ingress SLO percentiles as
+# "KV key=value" lines; it also writes its figure CSV into the cwd, so it
+# runs from the scratch dir like the campaign benches.
+streaming_out=$(cd "$scratch" && "$bench_bin/bench_streaming_latency")
+printf '%s\n' "$streaming_out"
+
+skv() {
+  printf '%s\n' "$streaming_out" | sed -n "s/^KV $1=//p" | tail -1
+}
+
 wall() {
   local start end
   start=$(date +%s%N)
@@ -70,6 +83,10 @@ cat > "$out" <<EOF
   "events_per_sec_storm_serial": $(kv events_per_sec_storm_serial),
   "events_per_sec_sharded": $(kv events_per_sec_sharded),
   "storm_speedup": $(kv storm_speedup),
+  "submit_launch_p50_ms": $(skv submit_launch_p50_ms),
+  "submit_launch_p99_ms": $(skv submit_launch_p99_ms),
+  "submit_launch_p999_ms": $(skv submit_launch_p999_ms),
+  "ingress_sustained_rate_per_s": $(skv ingress_sustained_rate_per_s),
   "bench_throughput_wall_s": $throughput_wall,
   "bench_impeccable_wall_s": $impeccable_wall
 }

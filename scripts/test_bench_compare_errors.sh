@@ -47,6 +47,22 @@ check_error "malformed json" "$TMP/good.json" "$TMP/truncated.json"
 printf '[1, 2, 3]' > "$TMP/array.json"
 check_error "non-object json" "$TMP/good.json" "$TMP/array.json"
 
+# A malformed histogram key — a KV line that went missing leaves an empty
+# string in the snapshot JSON, and an empty histogram percentile prints
+# NaN. Both must exit 2 with a labeled message, not a traceback or a
+# silently-passing gate.
+cat > "$TMP/lat_good.json" <<'EOF'
+{"quick": true, "submit_launch_p99_ms": 8.5}
+EOF
+cat > "$TMP/lat_garbage.json" <<'EOF'
+{"quick": true, "submit_launch_p99_ms": "knee [ms]"}
+EOF
+cat > "$TMP/lat_nan.json" <<'EOF'
+{"quick": true, "submit_launch_p99_ms": NaN}
+EOF
+check_error "non-numeric histogram key" "$TMP/lat_good.json" "$TMP/lat_garbage.json"
+check_error "NaN histogram key" "$TMP/lat_good.json" "$TMP/lat_nan.json"
+
 # A gated metric present in the baseline but missing from the candidate
 # must surface as a labeled MISSING warning row — not silently pass (a
 # bench that stopped producing a metric would otherwise pass forever).

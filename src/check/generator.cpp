@@ -52,6 +52,11 @@ UnitCaps unit_caps(const ScenarioSpec& spec) {
 }
 
 ScenarioSpec generate_scenario(sim::RngStream& rng) {
+  return generate_scenario(rng, GeneratorOptions{});
+}
+
+ScenarioSpec generate_scenario(sim::RngStream& rng,
+                               const GeneratorOptions& options) {
   ScenarioSpec spec;
   spec.seed = rng.next_u64() >> 1;  // headroom for derived stream salts
   spec.backends.clear();
@@ -170,6 +175,43 @@ ScenarioSpec generate_scenario(sim::RngStream& rng) {
   if (rng.bernoulli(0.5)) {
     static const int kThreadCounts[] = {2, 4};
     spec.threads = kThreadCounts[rng.uniform_int(0, 1)];
+  }
+
+  // Service-mode ingress (docs/ingress.md): about 30% of the scenarios
+  // (all of them under force_ingress) route the task budget through
+  // IngressService as an arrival process with admission control. The
+  // client population spans 1 to 10^6 — open-loop arrivals superpose into
+  // one aggregate stream, so a million clients costs O(1) state. Zero
+  // admission capacity is deliberately in-range: it must reject every
+  // offer while conservation still holds.
+  if (options.force_ingress || rng.bernoulli(0.30)) {
+    const double kind = rng.uniform();
+    if (kind < 0.40) {
+      spec.arrival = "poisson";
+    } else if (kind < 0.60) {
+      spec.arrival = "diurnal";
+    } else if (kind < 0.80) {
+      spec.arrival = "bursty";
+    } else {
+      spec.arrival = "closed";
+    }
+    if (spec.arrival == "closed") {
+      spec.clients = static_cast<int>(rng.uniform_int(2, 64));
+      spec.arrival_param = rng.uniform(0.02, 0.5);  // think time [s]
+    } else {
+      static const int kPopulations[] = {1, 16, 1000, 50000, 1000000};
+      spec.clients = kPopulations[rng.uniform_int(0, 4)];
+      spec.arrival_param = rng.uniform(100.0, 2500.0);  // rate [tasks/s]
+    }
+    spec.admit = rng.bernoulli(0.5) ? "defer" : "reject";
+    const double cap = rng.uniform();
+    if (cap < 0.15) {
+      spec.admit_capacity = 0;
+    } else if (cap < 0.50) {
+      spec.admit_capacity = static_cast<int>(rng.uniform_int(1, 16));
+    } else {
+      spec.admit_capacity = static_cast<int>(rng.uniform_int(32, 512));
+    }
   }
 
   // Crash/recovery (docs/recovery.md): about a third of the scenarios

@@ -13,7 +13,16 @@
 
 namespace flotilla::check {
 
+struct GeneratorOptions {
+  // Always arm the service-mode ingress dimensions (clients/arrival/admit)
+  // instead of the default ~30% draw — the nightly ingress-storm leg runs
+  // with this on so every scenario exercises admission control.
+  bool force_ingress = false;
+};
+
 ScenarioSpec generate_scenario(sim::RngStream& rng);
+ScenarioSpec generate_scenario(sim::RngStream& rng,
+                               const GeneratorOptions& options);
 
 // The largest single-node (cores, gpus) and multi-node (nodes) demand that
 // fits the smallest partition of every backend in the mix. Exposed for the

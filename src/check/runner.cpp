@@ -12,6 +12,7 @@
 #include "core/task_manager.hpp"
 #include "dragon/dragon_backend.hpp"
 #include "flux/flux_backend.hpp"
+#include "ingress/ingress.hpp"
 #include "journal/scribe.hpp"
 #include "prrte/dvm_backend.hpp"
 #include "sched/queue.hpp"
@@ -128,6 +129,45 @@ std::vector<core::TaskDescription> build_workload(const ScenarioSpec& spec) {
     if (rng.bernoulli(0.2)) t.output_mb = rng.uniform(1.0, 64.0);
   }
   return tasks;
+}
+
+// Maps the spec's ingress dimensions onto an IngressConfig. arrival_param
+// is overloaded the way the spec documents it: open-loop rate [tasks/s] or
+// closed-loop think time [s]; 0 keeps the ingress defaults.
+ingress::IngressConfig ingress_config(const ScenarioSpec& spec) {
+  ingress::IngressConfig cfg;
+  cfg.clients = spec.clients;
+  cfg.total_offers = spec.tasks;
+  if (spec.arrival == "poisson") {
+    cfg.arrival.kind = ingress::ArrivalKind::kPoisson;
+  } else if (spec.arrival == "diurnal") {
+    cfg.arrival.kind = ingress::ArrivalKind::kDiurnal;
+  } else if (spec.arrival == "bursty") {
+    cfg.arrival.kind = ingress::ArrivalKind::kBursty;
+  } else if (spec.arrival == "closed") {
+    cfg.arrival.kind = ingress::ArrivalKind::kClosed;
+  } else {
+    util::raise("spec: unknown arrival process: ", spec.arrival);
+  }
+  if (spec.arrival_param > 0.0) {
+    if (cfg.arrival.kind == ingress::ArrivalKind::kClosed) {
+      cfg.arrival.think = spec.arrival_param;
+    } else {
+      cfg.arrival.rate = spec.arrival_param;
+    }
+  }
+  if (spec.admit == "reject") {
+    cfg.admit.policy = ingress::AdmitPolicy::kReject;
+  } else if (spec.admit == "defer") {
+    cfg.admit.policy = ingress::AdmitPolicy::kDefer;
+  } else {
+    util::raise("spec: unknown admission policy: ", spec.admit);
+  }
+  if (spec.admit_capacity < 0) {
+    util::raise("spec: negative admission capacity: ", spec.admit_capacity);
+  }
+  cfg.admit.capacity = static_cast<std::size_t>(spec.admit_capacity);
+  return cfg;
 }
 
 // Post-build scheduler knobs the PilotDescription cannot express: swap the
@@ -293,7 +333,19 @@ void run_impl(const ScenarioSpec& spec, const RunOptions& opts,
     }
   });
 
-  const auto uids = tmgr.submit(build_workload(spec));
+  // Service-mode ingress (docs/ingress.md): clients > 0 routes the task
+  // budget through an arrival process + admission control instead of one
+  // up-front submit. Accepted uids then trickle in over the run, so cancel
+  // storms sample the ingress service's accepted set at fire time.
+  std::unique_ptr<ingress::IngressService> svc;
+  std::vector<std::string> uids;
+  if (spec.clients > 0) {
+    svc = std::make_unique<ingress::IngressService>(session, tmgr,
+                                                    ingress_config(spec));
+    svc->start(build_workload(spec));
+  } else {
+    uids = tmgr.submit(build_workload(spec));
+  }
 
   // The injected state-loss defect (docs/recovery.md): a recovery path
   // that forgets the pending fault schedule. Inert on normal runs — only
@@ -314,18 +366,22 @@ void run_impl(const ScenarioSpec& spec, const RunOptions& opts,
                           });
     } else {
       session.engine().at(
-          ready_time + fault.time, [&tmgr, uids, fault, s = scribe.get()] {
-            if (uids.empty()) return;
+          ready_time + fault.time,
+          [&tmgr, uids, fault, s = scribe.get(), svc_p = svc.get()] {
+            // Under ingress the accepted set grows over the run; sample it
+            // when the storm fires, not when it was scheduled.
+            const auto& pool = svc_p != nullptr ? svc_p->accepted_uids() : uids;
+            if (pool.empty()) return;
             const auto n = std::min<std::size_t>(
-                uids.size(),
+                pool.size(),
                 static_cast<std::size_t>(std::max(1, fault.count)));
             if (s) {
               s->record_fault("cancel", "", 0,
                               static_cast<std::int64_t>(n));
             }
-            const std::size_t stride = uids.size() / n;
+            const std::size_t stride = pool.size() / n;
             for (std::size_t i = 0; i < n; ++i) {
-              tmgr.cancel(uids[i * stride]);
+              tmgr.cancel(pool[i * stride]);
             }
           });
     }
@@ -341,8 +397,10 @@ void run_impl(const ScenarioSpec& spec, const RunOptions& opts,
           ? opts.max_events
           : 200000 + 5000ull * static_cast<std::uint64_t>(
                                    std::max(0, spec.tasks));
+  bool livelocked = false;
   while (session.engine().step()) {
     if (++result.events > budget) {
+      livelocked = true;
       result.violations.push_back(Violation{
           "livelock",
           util::cat("event budget exhausted after ", result.events,
@@ -373,6 +431,47 @@ void run_impl(const ScenarioSpec& spec, const RunOptions& opts,
 
   monitor.finish();
   for (const auto& v : monitor.violations()) result.violations.push_back(v);
+
+  // Ingress oracles: every offer got exactly one verdict (conservation
+  // under rejection), every accept reached the TMGR, closed-loop clients
+  // honored their in-flight bound, and the service drained (unless the
+  // run livelocked, in which case the drain is the livelock's problem).
+  if (svc != nullptr) {
+    const auto istats = svc->stats();
+    if (!istats.conserved()) {
+      result.violations.push_back(Violation{
+          "ingress-conservation",
+          util::cat("offered ", istats.offered, " != accepted ",
+                    istats.accepted, " + rejected ", istats.rejected,
+                    " + deferred ", istats.deferred),
+          session.now()});
+    }
+    if (istats.accepted != tmgr.submitted()) {
+      result.violations.push_back(Violation{
+          "ingress-conservation",
+          util::cat("accepted ", istats.accepted,
+                    " offers but the TMGR holds ", tmgr.submitted(),
+                    " submissions"),
+          session.now()});
+    }
+    const auto cfg = ingress_config(spec);
+    if (cfg.arrival.kind == ingress::ArrivalKind::kClosed &&
+        istats.max_client_in_flight >
+            static_cast<std::uint64_t>(cfg.in_flight_limit)) {
+      result.violations.push_back(Violation{
+          "ingress-bound",
+          util::cat("a closed-loop client reached ",
+                    istats.max_client_in_flight,
+                    " in-flight requests (limit ", cfg.in_flight_limit, ")"),
+          session.now()});
+    }
+    if (!livelocked && !svc->quiescent()) {
+      result.violations.push_back(Violation{
+          "ingress-conservation",
+          "engine drained but the ingress service is not quiescent",
+          session.now()});
+    }
+  }
 
   if (opts.recovery != nullptr) {
     if (scribe->diverged()) {
@@ -412,6 +511,15 @@ void run_impl(const ScenarioSpec& spec, const RunOptions& opts,
     h = fnv1a(h, util::cat(task.uid(), "|", core::to_string(task.state()), "|",
                            task.backend(), "|", task.attempts(), "\n"));
   });
+  if (svc != nullptr) {
+    // Ingress counters join the fingerprint only when armed, so classic
+    // (clients=0) fingerprints stay comparable with pre-ingress baselines.
+    const auto istats = svc->stats();
+    h = fnv1a(h, util::cat("ingress|", istats.offered, "|", istats.accepted,
+                           "|", istats.rejected, "|", istats.deferred, "|",
+                           istats.batches, "|", istats.launched, "|",
+                           istats.completed, "\n"));
+  }
   result.fingerprint = h;
 }
 

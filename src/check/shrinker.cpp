@@ -144,6 +144,40 @@ std::vector<ScenarioSpec> candidates(const ScenarioSpec& spec) {
     next.dragon_queue = "fifo";
     push(next);
   }
+  // Ingress reductions: drop the arrival process entirely (back to the
+  // classic one-shot submit), then halve the client population, simplify
+  // the arrival process to plain Poisson at the default rate, and relax
+  // admission toward an effectively unbounded reject queue.
+  if (spec.clients > 0) {
+    ScenarioSpec next = spec;
+    next.clients = 0;
+    next.arrival = "poisson";
+    next.arrival_param = 0.0;
+    next.admit = "reject";
+    next.admit_capacity = 256;
+    push(next);
+    if (spec.clients > 1) {
+      next = spec;
+      next.clients = std::max(1, spec.clients / 2);
+      push(next);
+    }
+    if (spec.arrival != "poisson" || spec.arrival_param != 0.0) {
+      next = spec;
+      next.arrival = "poisson";
+      next.arrival_param = 0.0;
+      push(next);
+    }
+    if (spec.admit != "reject") {
+      next = spec;
+      next.admit = "reject";
+      push(next);
+    }
+    if (spec.admit_capacity != 256) {
+      next = spec;
+      next.admit_capacity = 256;
+      push(next);
+    }
+  }
   // Crash-point reductions. Dropping the crash entirely (crash_at = 0)
   // disables the recovery oracle, so recovery-only failures survive it —
   // the shrinker keeps the crash when the bug needs one. Halving moves

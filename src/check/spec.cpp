@@ -159,6 +159,12 @@ std::string ScenarioSpec::to_string() const {
   out += ";router=" + router;
   out += ";placement=" + placement;
   out += ";dragon_queue=" + dragon_queue;
+  // Emitted only when armed so pre-ingress spec lines stay stable.
+  if (clients != 0) {
+    out += ";clients=" + std::to_string(clients);
+    out += ";arrival=" + arrival + ":" + double_str(arrival_param);
+    out += ";admit=" + admit + ":" + std::to_string(admit_capacity);
+  }
   if (!faults.empty()) {
     out += ";faults=";
     for (std::size_t i = 0; i < faults.size(); ++i) {
@@ -216,6 +222,24 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
       spec.placement = value;
     } else if (key == "dragon_queue") {
       spec.dragon_queue = value;
+    } else if (key == "clients") {
+      spec.clients = static_cast<int>(parse_int(value, "clients"));
+    } else if (key == "arrival") {
+      const auto colon = value.find(':');
+      if (colon == std::string::npos) {
+        util::raise("spec: arrival must be kind:param, got: ", value);
+      }
+      spec.arrival = value.substr(0, colon);
+      spec.arrival_param =
+          parse_double(value.substr(colon + 1), "arrival param");
+    } else if (key == "admit") {
+      const auto colon = value.find(':');
+      if (colon == std::string::npos) {
+        util::raise("spec: admit must be policy:capacity, got: ", value);
+      }
+      spec.admit = value.substr(0, colon);
+      spec.admit_capacity = static_cast<int>(
+          parse_int(value.substr(colon + 1), "admit capacity"));
     } else if (key == "faults") {
       for (const auto& token : split(value, ',')) {
         spec.faults.push_back(parse_fault(token));

@@ -59,6 +59,20 @@ struct ScenarioSpec {
   std::string placement = "first-fit";  // "first-fit"|"best-fit"|"gpu-pack"
   std::string dragon_queue = "fifo";    // "fifo" | "priority"
 
+  // Service-mode ingress dimensions (docs/ingress.md). clients == 0 keeps
+  // the classic path (one tmgr.submit of the whole workload up front);
+  // clients > 0 routes the same `tasks` budget through IngressService as
+  // an arrival process with admission control. `arrival` is the process
+  // kind ("poisson" | "diurnal" | "bursty" | "closed"); arrival_param is
+  // the open-loop rate [tasks/s] or closed-loop think time [s], 0 = use
+  // the ingress defaults. `admit` is the backpressure policy ("reject" |
+  // "defer") with a bounded intake queue of admit_capacity entries.
+  int clients = 0;
+  std::string arrival = "poisson";
+  double arrival_param = 0.0;
+  std::string admit = "reject";
+  int admit_capacity = 256;
+
   std::vector<FaultSpec> faults;
 
   // Crash/recovery oracle dimensions (docs/recovery.md). crash_at > 0

@@ -58,6 +58,41 @@ std::vector<std::string> TaskManager::submit(
   return uids;
 }
 
+std::vector<std::string> TaskManager::submit_batch(
+    std::vector<TaskDescription> descriptions) {
+  std::vector<std::string> uids;
+  uids.reserve(descriptions.size());
+  if (descriptions.empty()) return uids;
+  std::vector<std::shared_ptr<Task>> batch;
+  batch.reserve(descriptions.size());
+  const auto& cal = session_.calibration().core;
+  for (auto& description : descriptions) {
+    const std::string uid = session_.ids().next("task");
+    auto task = std::make_shared<Task>(uid, std::move(description));
+    if (transition_hook_) task->set_transition_hook(transition_hook_);
+    tasks_.emplace(uid, task);
+    ++total_submitted_;
+    agent_.profiler().submitted(*task);
+    task->advance(TaskState::kTmgrScheduling, session_.now());
+    obs_trace_.begin(obs::SpanType::kTaskSubmit, "tmgr", uid,
+                     static_cast<double>(task->description().demand.cores));
+    uids.push_back(uid);
+    batch.push_back(std::move(task));
+  }
+  const double cost =
+      cal.tmgr_batch_base +
+      static_cast<double>(batch.size()) * cal.tmgr_batch_per_task;
+  intake_.submit(rng_.lognormal_mean_cv(cost, cal.jitter_cv),
+                 [this, batch = std::move(batch)]() mutable {
+                   for (auto& task : batch) {
+                     obs_trace_.end(obs::SpanType::kTaskSubmit, "tmgr",
+                                    task->uid());
+                     agent_.execute(std::move(task));
+                   }
+                 });
+  return uids;
+}
+
 bool TaskManager::cancel(const std::string& uid) {
   const auto it = tasks_.find(uid);
   if (it == tasks_.end() || is_final(it->second->state())) return false;

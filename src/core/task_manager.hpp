@@ -31,6 +31,21 @@ class TaskManager {
   std::string submit(TaskDescription description);
   std::vector<std::string> submit(std::vector<TaskDescription> descriptions);
 
+  // Submits a batch as ONE intake transaction (flux-core job-ingest
+  // style): every task advances to kTmgrScheduling now, but the whole
+  // batch pays a single amortized intake cost
+  // (tmgr_batch_base + n * tmgr_batch_per_task) instead of n serialized
+  // per-task costs. Tasks reach the agent in batch order. The ingress
+  // service (src/ingress) is the intended caller.
+  std::vector<std::string> submit_batch(
+      std::vector<TaskDescription> descriptions);
+
+  // Tasks currently queued or in service in the TMGR intake component —
+  // the dispatcher-saturation signal admission control keys off.
+  std::size_t intake_backlog() const {
+    return intake_.backlog() + intake_.in_service();
+  }
+
   // Fires on every task reaching a final state.
   void on_complete(TaskHandler handler) {
     completion_handler_ = std::move(handler);

@@ -1,0 +1,50 @@
+#include "ingress/admission.hpp"
+
+#include "util/error.hpp"
+
+namespace flotilla::ingress {
+
+std::string to_string(AdmitPolicy policy) {
+  switch (policy) {
+    case AdmitPolicy::kReject:
+      return "reject";
+    case AdmitPolicy::kDefer:
+      return "defer";
+  }
+  return "?";
+}
+
+std::string AdmitConfig::to_string() const {
+  return ingress::to_string(policy) + ":" + std::to_string(capacity);
+}
+
+AdmitConfig AdmitConfig::parse(const std::string& token) {
+  AdmitConfig config;
+  const auto colon = token.find(':');
+  const auto policy = token.substr(0, colon);
+  if (policy == "reject") {
+    config.policy = AdmitPolicy::kReject;
+  } else if (policy == "defer") {
+    config.policy = AdmitPolicy::kDefer;
+  } else {
+    util::raise("admit: unknown policy: ", policy);
+  }
+  if (colon != std::string::npos) {
+    const auto value = token.substr(colon + 1);
+    try {
+      std::size_t used = 0;
+      const long long capacity = std::stoll(value, &used);
+      if (used != value.size() || capacity < 0) {
+        util::raise("admit: bad capacity: ", value);
+      }
+      config.capacity = static_cast<std::size_t>(capacity);
+    } catch (const std::invalid_argument&) {
+      util::raise("admit: bad capacity: ", value);
+    } catch (const std::out_of_range&) {
+      util::raise("admit: capacity out of range: ", value);
+    }
+  }
+  return config;
+}
+
+}  // namespace flotilla::ingress

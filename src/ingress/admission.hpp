@@ -1,0 +1,98 @@
+// Admission control for service-mode ingress (docs/ingress.md).
+//
+// The intake path is a bounded queue: when its depth (batcher pending +
+// TMGR intake backlog) reaches the configured capacity, new offers are
+// turned away instead of growing the queue without bound — the
+// backpressure half of flux-core's job-ingest design, where a saturated
+// broker pushes back on submitting clients rather than buffering
+// arbitrarily.
+//
+// Every offer — including the re-offer of a previously deferred request —
+// receives exactly one verdict: ACCEPT, REJECT, or DEFER. This makes
+// conservation an exactly-once classification property the fuzz harness
+// checks at drain: accepted + rejected + deferred == offered.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace flotilla::ingress {
+
+enum class AdmitPolicy : std::uint8_t {
+  kReject,  // turn saturated offers away; the client may come back later
+  kDefer,   // park saturated offers and re-offer after a backoff, up to
+            // max_defers attempts, then reject
+};
+
+std::string to_string(AdmitPolicy policy);
+
+struct AdmitConfig {
+  AdmitPolicy policy = AdmitPolicy::kReject;
+  // Intake depth (batcher pending + TMGR backlog) at or above which new
+  // offers are turned away. Zero rejects everything.
+  std::size_t capacity = 256;
+  // Defer policy: exponential backoff base and retry budget. The k-th
+  // retry of an offer waits defer_base * 2^k seconds.
+  double defer_base = 0.05;
+  int max_defers = 6;
+
+  // Compact `policy[:capacity]` form used by the fuzz spec codec and CLI;
+  // `parse(to_string(c))` round-trips policy and capacity.
+  std::string to_string() const;
+  static AdmitConfig parse(const std::string& token);
+};
+
+enum class Verdict : std::uint8_t { kAccept, kReject, kDefer };
+
+// Classifies offers against the configured bound and keeps the exactly-
+// once verdict counters the conservation invariant is stated over.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmitConfig& config) : config_(config) {}
+
+  // One offer, one verdict. `depth` is the current intake depth;
+  // `prior_defers` is how many times this particular request has already
+  // been deferred (0 for a fresh offer).
+  Verdict offer(std::size_t depth, int prior_defers) {
+    ++offered_;
+    if (depth < config_.capacity) {
+      ++accepted_;
+      return Verdict::kAccept;
+    }
+    if (config_.policy == AdmitPolicy::kDefer &&
+        prior_defers < config_.max_defers) {
+      ++deferred_;
+      return Verdict::kDefer;
+    }
+    ++rejected_;
+    return Verdict::kReject;
+  }
+
+  // Backoff before the (prior_defers+1)-th re-offer of a deferred request.
+  double defer_delay(int prior_defers) const {
+    const int exponent = prior_defers < 20 ? prior_defers : 20;
+    return config_.defer_base * static_cast<double>(1u << exponent);
+  }
+
+  const AdmitConfig& config() const { return config_; }
+  std::uint64_t offered() const { return offered_; }
+  std::uint64_t accepted() const { return accepted_; }
+  std::uint64_t rejected() const { return rejected_; }
+  std::uint64_t deferred() const { return deferred_; }
+
+  // The conservation-under-rejection invariant (docs/ingress.md): every
+  // offer classified exactly once.
+  bool conserved() const {
+    return offered_ == accepted_ + rejected_ + deferred_;
+  }
+
+ private:
+  AdmitConfig config_;
+  std::uint64_t offered_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t deferred_ = 0;
+};
+
+}  // namespace flotilla::ingress

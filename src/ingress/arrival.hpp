@@ -1,0 +1,88 @@
+// Arrival processes for service-mode ingress (docs/ingress.md).
+//
+// Open-loop processes generate inter-arrival gaps independent of the
+// system's response: Poisson (memoryless, the M/·/· baseline), diurnal (a
+// nonhomogeneous Poisson process whose rate follows a sinusoidal
+// day-cycle envelope, sampled by thinning), and bursty (a two-state
+// Markov-modulated Poisson process alternating quiet and storm phases).
+// Closed-loop arrivals are not a gap process — each client waits a think
+// time after its previous request resolves — and live in IngressService.
+//
+// A population of N independent Poisson clients superposes into one
+// Poisson stream at the aggregate rate, so open-loop configs carry the
+// *aggregate* rate and O(1) state regardless of client count: 10^6
+// clients cost no more than 10. All randomness derives from a named
+// sim::RngStream, so the arrival time series is a pure function of the
+// session seed (same seed => byte-identical traces).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/random.hpp"
+
+namespace flotilla::ingress {
+
+enum class ArrivalKind : std::uint8_t {
+  kPoisson,  // open loop, constant rate
+  kDiurnal,  // open loop, sinusoid-modulated rate (day cycle)
+  kBursty,   // open loop, MMPP-2 (quiet/storm phases)
+  kClosed,   // closed loop: think time per client (IngressService)
+};
+
+std::string to_string(ArrivalKind kind);
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  // Open loop: aggregate offered rate [requests/s] across all clients.
+  double rate = 200.0;
+  // Closed loop: per-client think time [s] between a resolution and the
+  // client's next request.
+  double think = 0.25;
+
+  // Diurnal envelope: rate * (1 + amplitude * sin(2*pi*t / period)). The
+  // period is virtual seconds — a compressed "day" so sweeps cross whole
+  // cycles.
+  double diurnal_amplitude = 0.75;
+  double diurnal_period = 120.0;
+
+  // Bursty MMPP-2: storms run at burst_factor * rate for a mean sojourn
+  // of burst_sojourn seconds, with duty cycle burst_duty; the quiet-state
+  // rate is derived so the long-run average stays `rate`. Requires
+  // burst_factor * burst_duty < 1.
+  double burst_factor = 3.0;
+  double burst_duty = 0.25;
+  double burst_sojourn = 2.0;
+
+  bool open_loop() const { return kind != ArrivalKind::kClosed; }
+
+  // Compact `kind[:param]` form used by the fuzz spec codec and CLI:
+  // the param is the aggregate rate for open kinds and the think time
+  // for closed. `parse(to_string(c))` round-trips kind and param.
+  std::string to_string() const;
+  static ArrivalConfig parse(const std::string& token);
+};
+
+// Deterministic inter-arrival gap generator for the open-loop kinds.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(const ArrivalConfig& config, std::uint64_t seed);
+
+  // Seconds from `now` until the next arrival. `now` is the virtual time
+  // of the previous arrival (the diurnal envelope is evaluated in
+  // absolute virtual time).
+  double next_gap(double now);
+
+ private:
+  double quiet_sojourn_mean() const;
+
+  ArrivalConfig config_;
+  sim::RngStream rng_;
+  // MMPP-2 state.
+  bool storm_ = false;
+  double sojourn_left_ = 0.0;
+  double quiet_rate_ = 0.0;
+  double storm_rate_ = 0.0;
+};
+
+}  // namespace flotilla::ingress

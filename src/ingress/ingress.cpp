@@ -1,0 +1,200 @@
+#include "ingress/ingress.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace flotilla::ingress {
+
+IngressService::IngressService(core::Session& session, core::TaskManager& tmgr,
+                               IngressConfig config)
+    : session_(session),
+      tmgr_(tmgr),
+      config_(std::move(config)),
+      admission_(config_.admit),
+      batcher_(session.engine(), config_.batch,
+               [this](std::vector<core::TaskDescription> batch) {
+                 commit(std::move(batch));
+               }),
+      client_rng_(session.seed(), "ingress.clients"),
+      obs_trace_(session.trace_handle()) {
+  FLOT_CHECK(config_.clients >= 1, "ingress: clients must be >= 1");
+  FLOT_CHECK(config_.in_flight_limit >= 1,
+             "ingress: in_flight_limit must be >= 1");
+  // Launch/terminal observation rides the shared transition-hook fanout,
+  // coexisting with the invariant monitor and the journal scribe; tasks
+  // not admitted through this service are ignored by uid lookup.
+  tmgr_.on_transition(
+      [this](const core::Task& task, core::TaskState, core::TaskState to) {
+        on_transition(task, to);
+      });
+}
+
+void IngressService::start(std::vector<core::TaskDescription> prototypes) {
+  FLOT_CHECK(!prototypes.empty(), "ingress: prototype set must be non-empty");
+  FLOT_CHECK(prototypes_.empty() && fresh_offers_ == 0,
+             "ingress: start() may be called once");
+  prototypes_ = std::move(prototypes);
+  if (config_.total_offers <= 0) return;
+  if (config_.arrival.open_loop()) {
+    arrivals_ =
+        std::make_unique<ArrivalProcess>(config_.arrival, session_.seed());
+    schedule_open_arrival();
+  } else {
+    client_in_flight_.assign(static_cast<std::size_t>(config_.clients), 0);
+    // Each client slot staggers its first request by one think time so a
+    // million synchronized clients do not all arrive at t=0.
+    for (int client = 0; client < config_.clients; ++client) {
+      for (int slot = 0; slot < config_.in_flight_limit; ++slot) {
+        schedule_closed_offer(client,
+                              client_rng_.exponential(config_.arrival.think));
+      }
+    }
+  }
+}
+
+void IngressService::schedule_open_arrival() {
+  if (fresh_offers_ >= config_.total_offers) return;
+  const double gap = arrivals_->next_gap(session_.now());
+  session_.engine().in(gap, [this] {
+    if (fresh_offers_ >= config_.total_offers) return;
+    ++fresh_offers_;
+    // The aggregate stream attributes each arrival to a client drawn from
+    // the population — O(1) state for any population size.
+    const int client =
+        config_.clients > 1
+            ? static_cast<int>(client_rng_.uniform_int(
+                  0, static_cast<std::int64_t>(config_.clients) - 1))
+            : 0;
+    make_offer(client, 0, next_prototype());
+    schedule_open_arrival();
+  });
+}
+
+void IngressService::schedule_closed_offer(int client, double delay) {
+  session_.engine().in(delay, [this, client] {
+    if (fresh_offers_ >= config_.total_offers) return;
+    ++fresh_offers_;
+    make_offer(client, 0, next_prototype());
+  });
+}
+
+core::TaskDescription IngressService::next_prototype() {
+  const auto index =
+      static_cast<std::size_t>(request_seq_) % prototypes_.size();
+  return prototypes_[index];
+}
+
+void IngressService::make_offer(int client, int prior_defers,
+                                core::TaskDescription description) {
+  const Verdict verdict = admission_.offer(intake_depth(), prior_defers);
+  switch (verdict) {
+    case Verdict::kAccept: {
+      obs_trace_.instant(obs::SpanType::kAdmission, "ingress", "accept",
+                         static_cast<double>(client));
+      Offer offer;
+      offer.time = session_.now();
+      offer.client = client;
+      offer.request = "req-" + std::to_string(request_seq_);
+      obs_trace_.begin(obs::SpanType::kSubmitLaunch, "ingress", offer.request,
+                       static_cast<double>(client));
+      if (!config_.arrival.open_loop()) {
+        auto& in_flight =
+            client_in_flight_[static_cast<std::size_t>(client)];
+        ++in_flight;
+        if (static_cast<std::size_t>(in_flight) > max_client_in_flight_) {
+          max_client_in_flight_ = static_cast<std::size_t>(in_flight);
+        }
+      }
+      ++request_seq_;
+      // Metadata first: the batcher may commit synchronously when the
+      // batch fills, and commit() consumes uncommitted_ front-to-back.
+      uncommitted_.push_back(std::move(offer));
+      batcher_.add(std::move(description));
+      break;
+    }
+    case Verdict::kDefer: {
+      obs_trace_.instant(obs::SpanType::kAdmission, "ingress", "defer",
+                         static_cast<double>(client));
+      ++pending_reoffers_;
+      session_.engine().in(
+          admission_.defer_delay(prior_defers),
+          [this, client, prior_defers,
+           description = std::move(description)]() mutable {
+            --pending_reoffers_;
+            make_offer(client, prior_defers + 1, std::move(description));
+          });
+      break;
+    }
+    case Verdict::kReject:
+      obs_trace_.instant(obs::SpanType::kAdmission, "ingress", "reject",
+                         static_cast<double>(client));
+      // A refused closed-loop client thinks, then comes back with a fresh
+      // request; open-loop clients are oblivious by definition.
+      if (!config_.arrival.open_loop()) {
+        schedule_closed_offer(client,
+                              client_rng_.exponential(config_.arrival.think));
+      }
+      break;
+  }
+}
+
+void IngressService::commit(std::vector<core::TaskDescription> batch) {
+  const auto uids = tmgr_.submit_batch(std::move(batch));
+  for (const auto& uid : uids) {
+    FLOT_CHECK(!uncommitted_.empty(), "ingress: commit without offers");
+    Offer offer = std::move(uncommitted_.front());
+    uncommitted_.pop_front();
+    admitted_.emplace(uid, offer);
+    awaiting_launch_.emplace(uid, std::move(offer));
+    accepted_uids_.push_back(uid);
+  }
+}
+
+void IngressService::on_transition(const core::Task& task,
+                                   core::TaskState to) {
+  if (to == core::TaskState::kRunning) {
+    // First launch only: retries re-enter kRunning but the user-visible
+    // submit->launch latency ends when the payload first starts.
+    const auto it = awaiting_launch_.find(task.uid());
+    if (it == awaiting_launch_.end()) return;
+    submit_to_launch_.record(session_.now() - it->second.time);
+    ++launched_;
+    obs_trace_.end(obs::SpanType::kSubmitLaunch, "ingress",
+                   it->second.request);
+    awaiting_launch_.erase(it);
+    return;
+  }
+  if (!core::is_final(to)) return;
+  const auto cit = admitted_.find(task.uid());
+  if (cit == admitted_.end()) return;  // not admitted through ingress
+  ++completed_;
+  turnaround_.record(session_.now() - cit->second.time);
+  // Canceled/failed before launch: the request's kSubmitLaunch span stays
+  // open (the launch never happened) and surfaces as an unclosed begin.
+  awaiting_launch_.erase(task.uid());
+  if (!config_.arrival.open_loop()) {
+    const int client = cit->second.client;
+    --client_in_flight_[static_cast<std::size_t>(client)];
+    schedule_closed_offer(client,
+                          client_rng_.exponential(config_.arrival.think));
+  }
+  admitted_.erase(cit);
+}
+
+IngressStats IngressService::stats() const {
+  IngressStats stats;
+  stats.offered = admission_.offered();
+  stats.accepted = admission_.accepted();
+  stats.rejected = admission_.rejected();
+  stats.deferred = admission_.deferred();
+  stats.batches = batcher_.batches();
+  stats.batched_tasks = batcher_.batched_tasks();
+  stats.max_batch = batcher_.max_batch_seen();
+  stats.launched = launched_;
+  stats.completed = completed_;
+  stats.max_client_in_flight = max_client_in_flight_;
+  return stats;
+}
+
+}  // namespace flotilla::ingress

@@ -32,6 +32,10 @@ std::string_view to_string(SpanType type) {
       return "state_callback";
     case SpanType::kJournal:
       return "journal";
+    case SpanType::kSubmitLaunch:
+      return "submit_launch";
+    case SpanType::kAdmission:
+      return "admission";
   }
   return "?";
 }

@@ -47,6 +47,10 @@ enum class SpanType : std::uint8_t {
   kPlacementAttempt,  // instant: placer call (value: 1 placed, 0 rejected)
   kStateCallback,     // instant: final-state callback delivery
   kJournal,           // instant: durable journal record appended
+  // Service-mode ingress (docs/ingress.md).
+  kSubmitLaunch,      // client offer accepted until the payload starts
+  kAdmission,         // instant: admission verdict (entity: accept/
+                      // reject/defer, value: client id)
 };
 
 // Stable short name ("submit", "run", "bootstrap", ...) used by both

@@ -81,6 +81,9 @@ int main(int argc, char** argv) {
               "file to write the minimized failing spec to")
       .option("max-events", "0", "per-run event budget (0 = automatic)")
       .flag("no-shrink", "report the original failing spec unminimized")
+      .flag("force-ingress",
+            "arm the clients/arrival/admit dimensions on every generated "
+            "scenario (the nightly ingress-storm leg)")
       .flag("verbose", "print every scenario spec before running it");
 
   try {
@@ -151,10 +154,12 @@ int main(int argc, char** argv) {
 
     const long scenarios = cli.get_int("scenarios");
     const long seed_base = cli.get_int("seed-base");
+    flotilla::check::GeneratorOptions gen_opts;
+    gen_opts.force_ingress = cli.get_flag("force-ingress");
     for (long i = 0; i < scenarios; ++i) {
       flotilla::sim::RngStream rng(
           static_cast<std::uint64_t>(seed_base + i), "fuzz.generate");
-      const auto spec = flotilla::check::generate_scenario(rng);
+      const auto spec = flotilla::check::generate_scenario(rng, gen_opts);
       if (verbose) {
         std::cout << "[" << (i + 1) << "/" << scenarios << "] "
                   << spec.to_string() << "\n";

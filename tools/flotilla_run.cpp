@@ -14,6 +14,7 @@
 
 #include "analytics/session_report.hpp"
 #include "core/flotilla.hpp"
+#include "ingress/ingress.hpp"
 #include "journal/recovery.hpp"
 #include "journal/scribe.hpp"
 #include "obs/export.hpp"
@@ -42,6 +43,15 @@ int main(int argc, char** argv) {
               "key=value file overriding platform.* and calibration keys")
       .option("trace-file", "", "CSV trace for --workload trace")
       .option("router", "static", "static | adaptive")
+      .option("clients", "0",
+              "service-mode ingress: client population size (0 = classic "
+              "one-shot submit; see docs/ingress.md)")
+      .option("arrival", "poisson",
+              "arrival process, kind[:param] — poisson|diurnal|bursty with "
+              "an aggregate rate [tasks/s], or closed with a think time [s]")
+      .option("admit", "reject",
+              "admission policy, policy[:capacity] — reject|defer against "
+              "a bounded intake queue")
       .option("trace", "", "write a Chrome trace_event JSON to this path")
       .option("prof", "", "write an RP-profiler-style .prof CSV to this path")
       .option("trace-capacity", "0",
@@ -104,7 +114,8 @@ int main(int argc, char** argv) {
         ";workload=" + cli.get("workload") +
         ";tasks=" + cli.get("tasks") + ";duration=" + cli.get("duration") +
         ";cores=" + cli.get("cores") + ";seed=" + std::to_string(seed) +
-        ";router=" + cli.get("router");
+        ";router=" + cli.get("router") + ";clients=" + cli.get("clients") +
+        ";arrival=" + cli.get("arrival") + ";admit=" + cli.get("admit");
     std::unique_ptr<journal::RecoveryManager> recovery;
     std::unique_ptr<journal::Scribe> scribe;
     if (!recover_path.empty()) {
@@ -186,7 +197,31 @@ int main(int argc, char** argv) {
     const double duration = cli.get_double("duration");
     const auto cores = cli.get_int("cores");
 
-    if (workload == "null") {
+    // Service-mode ingress (docs/ingress.md): --clients > 0 drives the
+    // synthetic workload through an arrival process with admission
+    // control instead of one up-front submit. Workflow-shaped workloads
+    // (impeccable, trace) schedule their own submissions and are
+    // incompatible with an arrival process.
+    const auto clients = static_cast<int>(cli.get_int("clients"));
+    std::unique_ptr<ingress::IngressService> ingress_svc;
+    if (clients > 0) {
+      if (workload != "null" && workload != "dummy" && workload != "mixed") {
+        std::cerr << "--clients requires --workload null|dummy|mixed\n";
+        return 2;
+      }
+      ingress::IngressConfig icfg;
+      icfg.clients = clients;
+      icfg.total_offers = tasks;
+      icfg.arrival = ingress::ArrivalConfig::parse(cli.get("arrival"));
+      icfg.admit = ingress::AdmitConfig::parse(cli.get("admit"));
+      ingress_svc = std::make_unique<ingress::IngressService>(session, tmgr,
+                                                              icfg);
+      const double proto_duration = workload == "null" ? 0.0 : duration;
+      ingress_svc->start(workload == "mixed"
+                             ? workloads::mixed_tasks(tasks, duration)
+                             : workloads::uniform_tasks(tasks, proto_duration,
+                                                        cores));
+    } else if (workload == "null") {
       tmgr.submit(workloads::uniform_tasks(tasks, 0.0, cores));
     } else if (workload == "dummy") {
       tmgr.submit(workloads::uniform_tasks(tasks, duration, cores));
@@ -262,6 +297,17 @@ int main(int argc, char** argv) {
               << 100.0 * metrics.gpu_utilization(pilot.total_gpus())
               << "%\n"
               << "  makespan:            " << metrics.makespan() << " s\n";
+    if (ingress_svc) {
+      const auto istats = ingress_svc->stats();
+      const auto& lat = ingress_svc->submit_to_launch();
+      std::cout << "  ingress offers:      " << istats.offered << " ("
+                << istats.accepted << " accepted, " << istats.rejected
+                << " rejected, " << istats.deferred << " deferred; "
+                << istats.batches << " intake batches)\n"
+                << "  submit->launch:      p50=" << lat.percentile(0.50)
+                << "s p99=" << lat.percentile(0.99)
+                << "s p999=" << lat.percentile(0.999) << "s\n";
+    }
 
     if (cli.get_flag("report")) {
       analytics::SessionReport report;
