@@ -81,8 +81,14 @@ struct CampaignResult {
 
 // End-to-end: null workload through RP + one flux partition, timed on the
 // wall clock so simulator events/sec reflects the refactored hot path.
-CampaignResult run_campaign(int nodes, int tasks, std::uint64_t seed) {
-  core::Session session(platform::frontier_spec(), nodes, seed);
+// engine_shards/engine_threads > 1 measures the same campaign on the
+// partitioned calendar with a concurrent drain — the configuration the
+// confinement proofs (docs/correctness.md#confinement-proofs) unlock.
+CampaignResult run_campaign(int nodes, int tasks, std::uint64_t seed,
+                            int engine_shards = 1, int engine_threads = 1) {
+  core::Session session(platform::frontier_spec(), nodes, seed,
+                        platform::frontier_calibration(), engine_shards,
+                        engine_threads);
   core::PilotManager pmgr(session);
   auto& pilot = pmgr.submit(
       {.nodes = nodes, .backends = {{.type = "flux", .partitions = 1}}});
@@ -172,9 +178,18 @@ int main() {
   std::cout << "\n=== End-to-end campaign (flux, " << campaign_nodes
             << " nodes, " << campaign_tasks << " null tasks) ===\n";
   const auto campaign = run_campaign(campaign_nodes, campaign_tasks, 42);
-  Table summary({"makespan [s]", "avg tput [t/s]", "sim events/s"});
-  summary.add_row({fixed(campaign.makespan, 1), fixed(campaign.avg_tput),
+  // Same campaign on a 4-shard calendar drained by 4 worker threads: the
+  // full-stack threaded configuration. Identical schedule by the
+  // thread-invariance oracle; only the wall clock may move.
+  const auto campaign_mt =
+      run_campaign(campaign_nodes, campaign_tasks, 42, 4, 4);
+  Table summary({"stack", "makespan [s]", "avg tput [t/s]", "sim events/s"});
+  summary.add_row({"serial", fixed(campaign.makespan, 1),
+                   fixed(campaign.avg_tput),
                    fixed(campaign.events_per_sec, 0)});
+  summary.add_row({"4 shards x 4 threads", fixed(campaign_mt.makespan, 1),
+                   fixed(campaign_mt.avg_tput),
+                   fixed(campaign_mt.events_per_sec, 0)});
   summary.print();
 
   const int storm_actors = quick ? 1024 : 2048;
@@ -201,6 +216,7 @@ int main() {
   kv("placement_speedup", speedup);
   kv("makespan_s", campaign.makespan);
   kv("events_per_sec", campaign.events_per_sec);
+  kv("events_per_sec_fullstack_mt", campaign_mt.events_per_sec);
   kv("events_per_sec_storm_serial", storm_serial.events_per_sec);
   kv("events_per_sec_sharded", storm_sharded.events_per_sec);
   kv("storm_speedup", storm_speedup);

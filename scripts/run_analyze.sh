@@ -3,15 +3,16 @@
 # against the committed layer DAG (analyze/layers.conf) and baseline
 # (analyze/baseline.txt). Usage:
 #
-#   scripts/run_analyze.sh [build-dir] [sarif-output] [shared-state-report]
+#   scripts/run_analyze.sh [build-dir] [sarif-output] [shared-state-report] \
+#                          [confinement-report]
 #
 # Builds the tool if needed, writes the SARIF report (default
-# flotilla-analyze.sarif, what CI uploads) plus the shared-state
-# inventory (default flotilla-analyze-shared-state.txt, the gating input
-# to the ROADMAP 1 sharding refactor), and exits non-zero on any
-# finding that is neither waived in source nor grandfathered in the
-# baseline — which is how CI gates on it. To accept a finding instead of
-# fixing it:
+# flotilla-analyze.sarif, what CI uploads), the shared-state inventory
+# (default flotilla-analyze-shared-state.txt), and the confinement-proof
+# report (default flotilla-analyze-confinement.txt — the verdict on every
+# claim in analyze/confined.txt), and exits non-zero on any finding that
+# is neither waived in source nor grandfathered in the baseline — which
+# is how CI gates on it. To accept a finding instead of fixing it:
 #
 #   ./build/tools/flotilla-analyze --baseline analyze/baseline.txt \
 #       --write-baseline
@@ -22,6 +23,7 @@ set -euo pipefail
 build_dir=${1:-build}
 sarif_out=${2:-flotilla-analyze.sarif}
 report_out=${3:-flotilla-analyze-shared-state.txt}
+conf_out=${4:-flotilla-analyze-confinement.txt}
 
 cd "$(dirname "$0")/.."
 
@@ -37,14 +39,18 @@ analyze="$build_dir/tools/flotilla-analyze"
 # SARIF for the artifact upload (exit code deferred to the gating run:
 # the SARIF run reports suppressed results too, so it shares the same
 # fresh-findings exit status). The same run writes the shared-state
-# inventory CI uploads alongside it, annotated from analyze/confined.txt.
+# inventory CI uploads alongside it, annotated from analyze/confined.txt,
+# and the confinement-proof report checking every claim in that file.
 "$analyze" --baseline analyze/baseline.txt --sarif --output "$sarif_out" \
-  --shared-state-report "$report_out" --confined analyze/confined.txt || true
+  --shared-state-report "$report_out" --confined analyze/confined.txt \
+  --confinement-report "$conf_out" || true
 
-# Shared-state inventory delta vs the recorded pre-sharding count
-# (analyze/shared_state_count.txt): the sharding acceptance bar is that
-# the inventory shrinks, or every remaining entry carries a reviewed
-# confined annotation. Unannotated entries fail the run.
+# Shared-state inventory delta vs the recorded count
+# (analyze/shared_state_count.txt): the acceptance bar is that the
+# inventory shrinks, or every remaining entry carries a reviewed confined
+# annotation. Unannotated entries fail the run; a count drift prints the
+# class-level delta so the reviewer sees exactly which shared state
+# appeared or vanished.
 recorded=$(cat analyze/shared_state_count.txt)
 summary=$(sed -n '2s/^# //p' "$report_out")
 total=$(printf '%s\n' "$summary" | sed -n 's/^total \([0-9]*\) entries.*/\1/p')
@@ -54,19 +60,69 @@ if [ -z "$total" ] || [ -z "$unannotated" ]; then
   exit 2
 fi
 echo "run_analyze: shared-state inventory: $total entries" \
-     "(pre-sharding baseline $recorded, delta $((total - recorded)))," \
+     "(recorded baseline $recorded, delta $((total - recorded)))," \
      "$unannotated unannotated" >&2
+if [ "$total" -ne "$recorded" ]; then
+  # Owning classes (the function column's class prefix) that gained or
+  # lost inventory entries since the recorded snapshot, if one exists.
+  if [ -f analyze/shared_state_classes.txt ]; then
+    classes_now=$(mktemp)
+    grep -v '^#' "$report_out" \
+      | awk -F'\t' '{n = split($5, q, "::"); cls = q[1];
+                     for (i = 2; i < n; i++) cls = cls "::" q[i];
+                     print cls}' \
+      | sort | uniq -c | awk '{print $2 "\t" $1}' > "$classes_now"
+    echo "run_analyze: shared-state class-level delta (class: recorded -> now):" >&2
+    join -t "$(printf '\t')" -a 1 -a 2 -e 0 -o 0,1.2,2.2 \
+         <(sort analyze/shared_state_classes.txt) "$classes_now" \
+      | awk -F'\t' '$2 != $3 {print "  " $1 ": " $2 " -> " $3}' >&2
+    rm -f "$classes_now"
+  fi
+  echo "run_analyze: FAIL: inventory count drifted from the recorded" \
+       "$recorded (now $total) — review the delta above, then refresh" \
+       "analyze/shared_state_count.txt and analyze/shared_state_classes.txt" >&2
+  exit 1
+fi
 if [ "$unannotated" -gt 0 ]; then
   echo "run_analyze: FAIL: $unannotated inventory entries lack a confined" \
        "annotation (annotate in analyze/confined.txt or guard the writes)" >&2
   exit 1
 fi
 
-# Human-readable gate: prints fresh findings and fails on them. Timed so
-# CI logs show analyzer cost as the tree grows.
+# Confinement-proof gate: every claim in analyze/confined.txt must hold
+# (failed == 0 — conf-* findings also fail the gating run below), and the
+# proved count must not regress below the recorded floor
+# (analyze/confinement_count.txt): downgrading a `verified` claim to
+# `assume` needs a deliberate floor update in the same commit.
+conf_summary=$(sed -n '2s/^# //p' "$conf_out")
+proved=$(printf '%s\n' "$conf_summary" | sed -n 's/.* claims: \([0-9]*\) proved.*/\1/p')
+failed=$(printf '%s\n' "$conf_summary" | sed -n 's/.* \([0-9]*\) failed$/\1/p')
+if [ -z "$proved" ] || [ -z "$failed" ]; then
+  echo "run_analyze: cannot parse confinement summary from $conf_out" >&2
+  exit 2
+fi
+proved_floor=$(cat analyze/confinement_count.txt)
+echo "run_analyze: confinement proofs: $conf_summary" \
+     "(recorded floor: $proved_floor proved)" >&2
+if [ "$failed" -gt 0 ]; then
+  echo "run_analyze: FAIL: $failed confinement claims failed their proof" \
+       "(see $conf_out)" >&2
+  exit 1
+fi
+if [ "$proved" -lt "$proved_floor" ]; then
+  echo "run_analyze: FAIL: proved confinement claims regressed below the" \
+       "recorded floor ($proved < $proved_floor) — restore the proofs or" \
+       "update analyze/confinement_count.txt deliberately" >&2
+  exit 1
+fi
+
+# Human-readable gate: prints fresh findings and fails on them (including
+# conf-* findings, now that --confined arms the confinement pass). Timed
+# so CI logs show analyzer cost as the tree grows.
 start_ms=$(date +%s%3N)
 status=0
-"$analyze" --baseline analyze/baseline.txt || status=$?
+"$analyze" --baseline analyze/baseline.txt --confined analyze/confined.txt \
+  || status=$?
 end_ms=$(date +%s%3N)
 echo "run_analyze: gate finished in $((end_ms - start_ms)) ms" >&2
 exit "$status"

@@ -174,6 +174,9 @@ ProgramModel build_program(const AnalysisInput& input) {
       call.token = site.token;
       call.line = site.line;
       call.name = site.name;
+      call.member = site.member;
+      call.on_this = site.on_this;
+      call.receiver = site.receiver;
       const std::string class_ctx =
           call.caller >= 0 ? model.functions[call.caller].def.class_ctx
                            : std::string();

@@ -73,6 +73,9 @@ struct ResolvedCall {
   std::size_t line = 0;
   std::string name;
   bool callback = false;      // through a callback variable; callees empty
+  bool member = false;        // invoked through '.' or '->'
+  bool on_this = false;       // receiver is `this`
+  std::string receiver;       // receiver identifier; empty when unknown
   std::vector<int> callees;   // candidate function ids (direct + virtual)
   std::vector<std::string> held;  // qualified mutexes held at the site
 };

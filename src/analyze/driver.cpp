@@ -11,6 +11,7 @@
 
 #include "analyze/baseline.hpp"
 #include "analyze/callgraph.hpp"
+#include "analyze/confine.hpp"
 #include "analyze/determinism.hpp"
 #include "analyze/ipc.hpp"
 #include "analyze/rules.hpp"
@@ -179,6 +180,20 @@ int run_driver(const DriverOptions& options, const PassRegistry& registry,
   // interprocedural passes consume.
   input.program = std::make_shared<const ProgramModel>(build_program(input));
 
+  // Confined annotations load before the passes run: the confinement
+  // pass consumes them, and a malformed claims file is a usage error no
+  // matter which reports were requested.
+  std::vector<ConfinedAnnotation> confined;
+  if (!options.confined_path.empty()) {
+    if (!load_confined_annotations(options.confined_path, &confined,
+                                   &error)) {
+      err << "flotilla-analyze: error: " << error << "\n";
+      return 2;
+    }
+    input.confined = &confined;
+    input.confined_path = options.confined_path;
+  }
+
   std::vector<Finding> all;
   for (const auto& pass : registry.passes()) {
     pass->run(input, &all);
@@ -201,13 +216,6 @@ int run_driver(const DriverOptions& options, const PassRegistry& registry,
   }
 
   if (!options.shared_state_report_path.empty()) {
-    std::vector<ConfinedAnnotation> confined;
-    if (!options.confined_path.empty() &&
-        !load_confined_annotations(options.confined_path, &confined,
-                                   &error)) {
-      err << "flotilla-analyze: error: " << error << "\n";
-      return 2;
-    }
     std::ofstream report(options.shared_state_report_path,
                          std::ios::binary | std::ios::trunc);
     if (!report) {
@@ -223,6 +231,23 @@ int run_driver(const DriverOptions& options, const PassRegistry& registry,
     if (!report.flush()) {
       err << "flotilla-analyze: error: "
           << options.shared_state_report_path << ": write failed\n";
+      return 2;
+    }
+  }
+
+  if (!options.confinement_report_path.empty()) {
+    std::ofstream report(options.confinement_report_path,
+                         std::ios::binary | std::ios::trunc);
+    if (!report) {
+      err << "flotilla-analyze: error: "
+          << options.confinement_report_path
+          << ": cannot open for writing\n";
+      return 2;
+    }
+    write_confinement_report(analyze_confinement(input).claims, report);
+    if (!report.flush()) {
+      err << "flotilla-analyze: error: "
+          << options.confinement_report_path << ": write failed\n";
       return 2;
     }
   }

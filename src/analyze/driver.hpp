@@ -49,9 +49,14 @@ struct DriverOptions {
   // When set, the shared-state inventory (analyze/ipc.hpp) is written
   // here in addition to the normal report.
   std::string shared_state_report_path;
-  // Confined-annotation file (analyze/confined.txt) applied to the
-  // shared-state report; "" = no annotations.
+  // Confined-annotation file (analyze/confined.txt); "" = no
+  // annotations. When set, the annotations mark shared-state report
+  // entries AND arm the confinement pass: claims with status "verified"
+  // become proof obligations, and stale claims are hard errors.
   std::string confined_path;
+  // When set, the per-claim confinement-proof report (analyze/confine.hpp)
+  // is written here.
+  std::string confinement_report_path;
 };
 
 // Runs every registered pass and reports. Returns the process exit code:

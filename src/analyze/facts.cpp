@@ -1,6 +1,7 @@
 #include "analyze/facts.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <map>
 
 #include "analyze/determinism.hpp"
@@ -165,6 +166,59 @@ void harvest_globals(const std::vector<Token>& toks,
       }
       if (j < toks.size() && is_ident(toks[j])) atomics->insert(toks[j].text);
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Declared-variable types (receiver narrowing for the confinement pass)
+// ---------------------------------------------------------------------------
+
+// `Type name;` / `Type name_ = ...;` / `Ns::Type& param,` declarations:
+// records name -> Type's last CamelCase component. Template wrappers
+// resolve to the innermost-rightmost identifier (`std::unique_ptr<obs::
+// Tracer> t_` records t_ -> Tracer), which is what a `t_->method()`
+// receiver dispatches into. Lowercase type candidates (builtins,
+// keywords, expression false-positives like `return x;`) are dropped.
+void harvest_member_types(
+    const std::vector<Token>& toks,
+    std::map<std::string, std::set<std::string>>* types) {
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i])) continue;
+    const Token& next = toks[i + 1];
+    if (next.kind != TokenKind::kPunct ||
+        !any_of(next.text, {";", "=", "{", ",", ")"})) {
+      continue;
+    }
+    // Walk back over declarator decoration to the type's last token.
+    std::size_t j = i;
+    while (j > 0 && (is_punct(toks[j - 1], "&") ||
+                     is_punct(toks[j - 1], "*") ||
+                     (is_ident(toks[j - 1]) &&
+                      toks[j - 1].text == "const"))) {
+      --j;
+    }
+    if (j == 0) continue;
+    std::string type;
+    if (is_ident(toks[j - 1])) {
+      type = toks[j - 1].text;
+    } else if (is_punct(toks[j - 1], ">")) {
+      // Template wrapper: innermost-rightmost identifier.
+      for (std::size_t k = j - 1; k-- > 0;) {
+        if (is_ident(toks[k])) {
+          type = toks[k].text;
+          break;
+        }
+        if (toks[k].kind == TokenKind::kPunct &&
+            (toks[k].text == ";" || toks[k].text == "{" ||
+             toks[k].text == "}")) {
+          break;
+        }
+      }
+    }
+    if (type.empty() || std::isupper(static_cast<unsigned char>(type[0])) == 0) {
+      continue;
+    }
+    (*types)[toks[i].text].insert(type);
   }
 }
 
@@ -585,9 +639,12 @@ void collect_body_facts(const LexedFile& lex, const BodyIndex& bodies,
         call.member = member;
         call.token = i;
         call.line = tok.line;
-        if (member && i >= 2 && is_ident(toks[i - 2]) &&
-            toks[i - 2].text == "this") {
-          call.on_this = true;
+        if (member && i >= 2 && is_ident(toks[i - 2])) {
+          if (toks[i - 2].text == "this") {
+            call.on_this = true;
+          } else {
+            call.receiver = toks[i - 2].text;
+          }
         }
         if (i >= 2 && is_punct(toks[i - 1], "::")) {
           // Explicit qualification: A::B::name(...).
@@ -601,6 +658,51 @@ void collect_body_facts(const LexedFile& lex, const BodyIndex& bodies,
         }
         call.held_mutexes = walker.active_mutexes();
         facts->calls.push_back(std::move(call));
+      }
+    }
+
+    // Engine dispatch sites: member calls to in/at/invoke_on carrying an
+    // inline lambda. The lambda bodies are the units of work the sharded
+    // engine runs; the confinement pass seeds its shard-context analysis
+    // from them (docs/sharding.md, "Confinement proofs").
+    if (called && member &&
+        any_of(tok.text, {"in", "at", "invoke_on"})) {
+      const std::size_t open = i + 1;
+      const std::size_t close = matching_close(toks, open);
+      DispatchFact dispatch;
+      dispatch.body_id = body.id;
+      dispatch.name = tok.text;
+      dispatch.line = tok.line;
+      if (i >= 2 && is_ident(toks[i - 2]) && toks[i - 2].text != "this") {
+        dispatch.receiver = toks[i - 2].text;
+      }
+      // Top-level commas split the arguments; the first argument's token
+      // text is the shard key of the targeted overloads.
+      int depth = 0;
+      int commas = 0;
+      std::string first_arg;
+      for (std::size_t j = open + 1; j < close && j < toks.size(); ++j) {
+        const Token& t = toks[j];
+        if (t.kind == TokenKind::kPunct) {
+          if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+          if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+          if (t.text == "," && depth == 0) {
+            ++commas;
+            continue;
+          }
+        }
+        if (commas == 0) first_arg += t.text;
+      }
+      dispatch.targeted = tok.text == "invoke_on" || commas >= 2;
+      if (dispatch.targeted) dispatch.shard_key = first_arg;
+      for (const Body& b : bodies.bodies) {
+        if (b.lambda && b.parent == body.id && b.open > open &&
+            b.open < close) {
+          dispatch.lambda_bodies.push_back(b.id);
+        }
+      }
+      if (!dispatch.lambda_bodies.empty()) {
+        facts->dispatches.push_back(std::move(dispatch));
       }
     }
 
@@ -625,6 +727,10 @@ FileFacts collect_facts(const LexedFile& lex, const BodyIndex& bodies,
     harvest_globals(paired_header->tokens, &facts.globals, &facts.atomics);
   }
   harvest_globals(lex.tokens, &facts.globals, &facts.atomics);
+  if (paired_header != nullptr) {
+    harvest_member_types(paired_header->tokens, &facts.member_types);
+  }
+  harvest_member_types(lex.tokens, &facts.member_types);
   collect_functions(lex, bodies, &facts);
   for (const Body& body : bodies.bodies) {
     collect_body_facts(lex, bodies, body, &facts);

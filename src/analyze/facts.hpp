@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -60,6 +61,11 @@ struct CallSiteFact {
   bool member = false;                 // invoked through '.' or '->'
   bool on_this = false;                // receiver is `this`
   bool moved = false;                  // std::move(name)(...) form
+  // Receiver identifier of a member call (`recv.f()` / `recv->f()`);
+  // empty when the receiver is `this`, a chained call, or any other
+  // non-identifier expression. The confinement pass uses it, together
+  // with the member-type harvest, to narrow name-level member dispatch.
+  std::string receiver;
   std::size_t token = 0;               // index of the name token
   std::size_t line = 0;
   std::vector<std::string> held_mutexes;  // raw names active at the site
@@ -104,6 +110,23 @@ struct NondetFact {
   std::size_t line = 0;
 };
 
+// An engine dispatch site: a member call to `in`/`at`/`invoke_on` whose
+// argument list carries at least one inline lambda — the unit of work
+// the sharded engine will run on some shard (docs/sharding.md).
+// `targeted` records whether the call names an explicit destination
+// shard: invoke_on always does; at/in only in their three-argument
+// shard-targeted overloads (detected as >= 2 top-level commas).
+// `shard_key` is the token text of that destination argument.
+struct DispatchFact {
+  int body_id = -1;
+  std::string name;                // "in" | "at" | "invoke_on"
+  std::string receiver;            // receiver identifier, may be empty
+  bool targeted = false;
+  std::string shard_key;           // first-argument tokens when targeted
+  std::vector<int> lambda_bodies;  // direct-child lambda bodies in the args
+  std::size_t line = 0;
+};
+
 // A trace-output sink: Tracer begin/end with a SpanType argument, a
 // Tracer counter() call, or an FNV/fingerprint call. Argument tokens are
 // (open, close) exclusive.
@@ -124,9 +147,15 @@ struct FileFacts {
   std::vector<BlockingFact> blocking;
   std::vector<NondetFact> nondet;
   std::vector<SinkFact> sinks;
+  std::vector<DispatchFact> dispatches;
   std::set<std::string> globals;        // mutable static/global names
   std::set<std::string> atomics;        // atomic-typed names (writes exempt)
   std::set<std::string> address_taken;  // &name / &A::name, not a call
+  // Declared-variable types, `name -> CamelCase type last components`:
+  // `sim::Engine engine_;` records engine_ -> {Engine}. Best-effort and
+  // file-local; the confinement pass merges the maps program-wide to
+  // narrow member-call dispatch by receiver.
+  std::map<std::string, std::set<std::string>> member_types;
 };
 
 // Collects every fact for one file. Pure function of its inputs — safe to

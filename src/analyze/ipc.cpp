@@ -30,19 +30,6 @@ std::string quoted_list(const std::vector<std::string>& names) {
   return out;
 }
 
-// True when `qualified` is `suffix` or ends with "::" + suffix.
-bool component_suffix(const std::string& qualified,
-                      const std::string& suffix) {
-  if (qualified.size() < suffix.size()) return false;
-  if (qualified.compare(qualified.size() - suffix.size(), suffix.size(),
-                        suffix) != 0) {
-    return false;
-  }
-  const std::size_t at = qualified.size() - suffix.size();
-  if (at == 0) return true;
-  return at >= 2 && qualified.compare(at - 2, 2, "::") == 0;
-}
-
 void push_unique(const Finding& f, std::set<std::string>* seen,
                  std::vector<Finding>* findings) {
   const std::string key =
@@ -172,11 +159,18 @@ void IpcDeterminismPass::run(const AnalysisInput& input,
 // shared-state
 // ---------------------------------------------------------------------------
 
-namespace {
+bool component_suffix(const std::string& qualified,
+                      const std::string& suffix) {
+  if (qualified.size() < suffix.size()) return false;
+  if (qualified.compare(qualified.size() - suffix.size(), suffix.size(),
+                        suffix) != 0) {
+    return false;
+  }
+  const std::size_t at = qualified.size() - suffix.size();
+  if (at == 0) return true;
+  return at >= 2 && qualified.compare(at - 2, 2, "::") == 0;
+}
 
-// True when the annotation's function pattern covers `qualified`. A plain
-// pattern matches as a component suffix ("Engine::step" matches
-// "sim::Engine::step"); "X::*" matches every member of component X.
 bool function_matches(const std::string& qualified,
                       const std::string& pattern) {
   if (pattern.size() > 3 &&
@@ -199,8 +193,6 @@ const ConfinedAnnotation* match_annotation(
   return nullptr;
 }
 
-}  // namespace
-
 bool load_confined_annotations(const std::string& path,
                                std::vector<ConfinedAnnotation>* out,
                                std::string* error) {
@@ -217,13 +209,25 @@ bool load_confined_annotations(const std::string& path,
     if (first == std::string::npos || line[first] == '#') continue;
     std::istringstream fields(line);
     ConfinedAnnotation a;
-    fields >> a.target >> a.function;
+    a.line = lineno;
+    fields >> a.target >> a.function >> a.status;
     std::getline(fields, a.reason);
     const std::size_t start = a.reason.find_first_not_of(" \t");
     a.reason = start == std::string::npos ? "" : a.reason.substr(start);
-    if (a.target.empty() || a.function.empty() || a.reason.empty()) {
+    if (a.target.empty() || a.function.empty() || a.reason.empty() ||
+        (a.status != "verified" && a.status != "assume")) {
       *error = path + ":" + std::to_string(lineno) +
-               ": expected 'target function reason...'";
+               ": expected 'target function verified|assume reason...'";
+      return false;
+    }
+    const std::size_t colon = a.reason.find_first_of(": \t");
+    a.kind = colon == std::string::npos ? a.reason : a.reason.substr(0, colon);
+    if (a.kind != "owner-confined" && a.kind != "shard-confined" &&
+        a.kind != "threads-pinned" && a.kind != "host-tooling") {
+      *error = path + ":" + std::to_string(lineno) +
+               ": reason must open with owner-confined, shard-confined, "
+               "threads-pinned, or host-tooling, got '" +
+               a.kind + "'";
       return false;
     }
     out->push_back(std::move(a));

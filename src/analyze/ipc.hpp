@@ -56,24 +56,49 @@ struct SharedStateEntry {
   std::string confinement;
 };
 
-// One line of analyze/confined.txt: a reviewed claim that writes to
-// `target` from `function` are safe without a guard (owner-confined to
-// one shard, published at a round barrier, or pinned to threads=1 —
-// docs/sharding.md). `function` is matched as a qualified-name component
-// suffix; a trailing "::*" annotates every member of a component.
-// `target` may be "*" to cover all of the function's writes.
+// One line of analyze/confined.txt: a claim that writes to `target` from
+// `function` are safe without a guard (owner-confined to one shard,
+// published at a round barrier, shard-confined by dispatch, or pinned
+// away from the threaded roots — docs/sharding.md). `function` is
+// matched as a qualified-name component suffix; a trailing "::*"
+// annotates every member of a component. `target` may be "*" to cover
+// all of the function's writes. `status` is "verified" (the confinement
+// pass must mechanically prove it — a proof failure is a conf-* finding)
+// or "assume" (reviewed claim, staleness-checked only). `kind` is the
+// reason's leading word: owner-confined, shard-confined, threads-pinned,
+// or host-tooling.
 struct ConfinedAnnotation {
   std::string target;
   std::string function;
-  std::string reason;
+  std::string status;  // "verified" | "assume"
+  std::string kind;
+  std::string reason;  // starts with kind, e.g. "shard-confined: ..."
+  std::size_t line = 0;
 };
 
 // Parses the tab/space-separated annotation file (`target function
-// reason...` per line, '#' comments). False (with *error) on IO or parse
-// failure.
+// status reason...` per line, '#' comments; the reason must open with a
+// recognized kind). False (with *error) on IO or parse failure.
 bool load_confined_annotations(const std::string& path,
                                std::vector<ConfinedAnnotation>* out,
                                std::string* error);
+
+// True when `qualified` is `suffix` or ends with "::" + suffix.
+bool component_suffix(const std::string& qualified,
+                      const std::string& suffix);
+
+// True when the annotation's function pattern covers `qualified`. A plain
+// pattern matches as a component suffix ("Engine::step" matches
+// "sim::Engine::step"); "X::*" matches every member of component X,
+// including lambdas defined inside its methods.
+bool function_matches(const std::string& qualified,
+                      const std::string& pattern);
+
+// First annotation whose target and function pattern cover the write, or
+// nullptr. First match wins — order the claims file specific-first.
+const ConfinedAnnotation* match_annotation(
+    const std::vector<ConfinedAnnotation>* confined,
+    const std::string& target, const std::string& function);
 
 // Unguarded writes reachable from sim::Engine::run (empty when the
 // program model is missing or no root matches). Sorted by (file, line,

@@ -7,6 +7,7 @@ namespace {
 constexpr const char* kPasses = "pass-catalogue";
 constexpr const char* kDeterminism = "determinism-rules";
 constexpr const char* kIpc = "interprocedural-analysis";
+constexpr const char* kConfinement = "confinement-proofs";
 
 const RuleMeta kRules[] = {
     {"arch-config", Severity::kError,
@@ -25,6 +26,21 @@ const RuleMeta kRules[] = {
      "A source file is not covered by any layer prefix in "
      "analyze/layers.conf, so no layering rule applies to it.",
      kPasses},
+    {"conf-cross-shard-write", Severity::kError,
+     "Writers covered by one shard-confined claim are dispatched to "
+     "different shard keys; the state has no single home shard and races "
+     "once the engine runs threads > 1.",
+     kConfinement},
+    {"conf-stale-claim", Severity::kError,
+     "A confinement claim's function pattern matches nothing in the "
+     "scanned tree; dead claims silently re-cover code if the name ever "
+     "returns, so they are hard errors.",
+     kConfinement},
+    {"conf-unproven", Severity::kError,
+     "A claim marked 'verified' in the confined-annotation file could "
+     "not be mechanically proved against the dispatch model; fix the "
+     "code, the claim, or downgrade it to 'assume' with review.",
+     kConfinement},
     {"hardware-concurrency", Severity::kError,
      "std::thread::hardware_concurrency() makes behavior depend on the "
      "host machine; worker counts must come from configuration.",

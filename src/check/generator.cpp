@@ -167,7 +167,8 @@ ScenarioSpec generate_scenario(sim::RngStream& rng,
   // Engine sharding: half the scenarios run the full stack on a
   // partitioned calendar (bit-identical to shards=1 by construction), and
   // the threads dimension feeds the engine-level storm oracle in
-  // run_with_oracles() — the stack itself stays single-threaded.
+  // run_with_oracles() plus — for clean specs — the bare full-stack
+  // threaded run checked by the thread-invariance oracle.
   if (rng.bernoulli(0.5)) {
     static const int kShardCounts[] = {2, 3, 4};
     spec.shards = kShardCounts[rng.uniform_int(0, 2)];

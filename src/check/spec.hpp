@@ -37,9 +37,11 @@ struct ScenarioSpec {
 
   // Engine sharding (docs/sharding.md). `shards` partitions the Session
   // engine's event calendar — the run must be bit-identical to shards=1.
-  // `threads` drives the engine-level storm oracle in run_with_oracles():
-  // the full stack pins its engine to one thread, so the threads dimension
-  // is exercised on the shard-confined storm workload instead.
+  // `threads` drives the threads dimension in run_with_oracles(): the
+  // engine-level storm oracle, plus — for clean specs — a bare full-stack
+  // run at engine_threads = threads that must reach the same terminal
+  // state as the monitored serial run (the confinement proofs in
+  // analyze/confined.txt are what make that legal).
   int shards = 1;
   int threads = 1;
 

@@ -29,13 +29,19 @@ class Session {
   // backends self-assign a shard via engine().affinity(name) and the agent
   // hops completion events back to the control shard, so the schedule is
   // identical for any shard count (the determinism suites assert this).
-  // The stack pins the engine to threads=1 and lookahead=0 — the
+  //
+  // `engine_threads` enables concurrent shard drains (clamped to
+  // [1, engine_shards] by the engine). Safe because every class on the
+  // shared-state inventory carries a machine-checked confinement proof —
+  // flotilla-analyze's conf-* passes verify analyze/confined.txt on every
+  // CI run (docs/correctness.md#confinement-proofs). Threaded sessions
+  // must be driven through run(): step() executes on the calling thread
+  // and would serialize the drains. Lookahead stays 0 — the
   // same-timestamp batch drain keeps virtual time monotone for the
-  // invariant monitor, and concurrent drains stay off until the
-  // shared-state inventory (scripts/run_analyze.sh) is confined/guarded.
+  // invariant monitor.
   Session(platform::PlatformSpec spec, int num_nodes, std::uint64_t seed = 42,
           platform::Calibration calibration = platform::frontier_calibration(),
-          int engine_shards = 1);
+          int engine_shards = 1, int engine_threads = 1);
 
   sim::Engine& engine() { return engine_; }
   platform::Cluster& cluster() { return cluster_; }

@@ -28,11 +28,14 @@
 // Because each calendar has a single owner per round, mailboxes are
 // single-writer, and the merge is deterministic, the observable execution
 // is byte-identical for any thread count — the shards×threads matrix test
-// in tests/sharded_engine_test.cpp asserts exactly that. Callbacks that
-// run under threads > 1 must confine their writes to shard-local state
-// (the shared-state inventory in scripts/run_analyze.sh audits the full
-// stack for exactly this; until it is clean, core::Session pins the
-// stack to threads == 1).
+// in tests/sharded_engine_test.cpp asserts exactly that, for the raw
+// storm kernel and for the full Flotilla stack. Callbacks that run under
+// threads > 1 must confine their writes to shard-local state: every class
+// on the shared-state inventory (scripts/run_analyze.sh) carries a
+// confinement claim in analyze/confined.txt, and flotilla-analyze's
+// conf-* passes machine-check the `verified` ones on every CI run
+// (docs/correctness.md#confinement-proofs). That proof is what lets
+// core::Session expose engine_threads to the full stack.
 #pragma once
 
 #include <atomic>
@@ -163,7 +166,9 @@ class Engine {
   // invariant monitors (src/check) use it to audit the simulation between
   // events. Pass an empty callback to clear. Never fires for events that
   // were cancelled. Under threads > 1 the hook fires on worker threads
-  // and must be thread-safe; the full stack runs threads == 1.
+  // and must be thread-safe — threaded consumers keep to atomics (the
+  // check runner's event-budget counter); order-sensitive consumers like
+  // the invariant monitor require threads == 1.
   void set_post_event_hook(Callback hook) { post_event_hook_ = std::move(hook); }
 
   // Trace probe: like the post-event hook but reserved for the tracing

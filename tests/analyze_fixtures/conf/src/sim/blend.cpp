@@ -1,0 +1,12 @@
+#include "sim/blend.hpp"
+
+namespace sim {
+
+void Blend::scatter(double value) {
+  engine_->invoke_on(alpha_, [this, value] { fold(value); });
+  engine_->invoke_on(beta_, [this, value] { fold(value); });
+}
+
+void Blend::fold(double value) { acc_ += value; }
+
+}  // namespace sim

@@ -1,0 +1,25 @@
+// Seeded conf-unproven fixture: one writer (`fold`) reached from two
+// differently-targeted dispatches, so its shard context is Multi and a
+// `verified shard-confined` claim over Blend cannot be proved.
+#pragma once
+
+#include "sim/engine.hpp"
+
+namespace sim {
+
+class Blend {
+ public:
+  explicit Blend(Engine* engine) : engine_(engine) {}
+
+  void scatter(double value);
+
+ private:
+  void fold(double value);
+
+  Engine* engine_;
+  int alpha_ = 1;
+  int beta_ = 2;
+  double acc_ = 0.0;
+};
+
+}  // namespace sim

@@ -1,0 +1,36 @@
+#include "sim/engine.hpp"
+
+namespace sim {
+
+void Engine::in(double delay, Callback fn) {
+  (void)delay;
+  next_ = std::move(fn);
+}
+
+void Engine::in(int shard, double delay, Callback fn) {
+  (void)shard;
+  (void)delay;
+  next_ = std::move(fn);
+}
+
+void Engine::at(int shard, double when, Callback fn) {
+  (void)shard;
+  (void)when;
+  next_ = std::move(fn);
+}
+
+void Engine::invoke_on(int shard, Callback fn) {
+  (void)shard;
+  next_ = std::move(fn);
+}
+
+void Engine::run() {
+  while (next_) {
+    ticks_ += 1;
+    Callback fn = std::move(next_);
+    next_ = nullptr;
+    fn();
+  }
+}
+
+}  // namespace sim

@@ -1,0 +1,13 @@
+#include "sim/mirror.hpp"
+
+namespace sim {
+
+void Mirror::record(double value) {
+  engine_->invoke_on(left_, [this, value] { sum_ += value; });
+}
+
+void Mirror::replicate(double value) {
+  engine_->invoke_on(right_, [this, value] { peak_ = value; });
+}
+
+}  // namespace sim

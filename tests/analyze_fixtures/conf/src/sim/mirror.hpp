@@ -1,0 +1,26 @@
+// Seeded conf-cross-shard-write fixture: two writers, each reached from
+// a single-key dispatch, but the keys differ (`left_` vs `right_`). A
+// `verified shard-confined` claim over Mirror must fail — the state has
+// no single home shard.
+#pragma once
+
+#include "sim/engine.hpp"
+
+namespace sim {
+
+class Mirror {
+ public:
+  explicit Mirror(Engine* engine) : engine_(engine) {}
+
+  void record(double value);
+  void replicate(double value);
+
+ private:
+  Engine* engine_;
+  int left_ = 1;
+  int right_ = 2;
+  double sum_ = 0.0;
+  double peak_ = 0.0;
+};
+
+}  // namespace sim

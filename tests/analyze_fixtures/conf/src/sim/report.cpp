@@ -1,0 +1,7 @@
+#include "sim/report.hpp"
+
+namespace sim {
+
+void Reporter::flush() { lines_ += 1; }
+
+}  // namespace sim

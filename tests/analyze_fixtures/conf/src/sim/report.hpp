@@ -1,0 +1,16 @@
+// Seeded threads-pinned violation: Reporter is called from the storm
+// harness (src/sim/storm.cpp), so a `verified threads-pinned` claim over
+// it must fail — the code IS reachable from the threaded roots.
+#pragma once
+
+namespace sim {
+
+class Reporter {
+ public:
+  void flush();
+
+ private:
+  long lines_ = 0;
+};
+
+}  // namespace sim

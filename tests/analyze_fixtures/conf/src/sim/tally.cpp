@@ -1,0 +1,14 @@
+#include "sim/tally.hpp"
+
+namespace sim {
+
+void ShardTally::submit(double value) {
+  engine_->invoke_on(shard_, [this, value] { apply(value); });
+}
+
+void ShardTally::apply(double value) {
+  total_ += value;
+  count_ += 1;
+}
+
+}  // namespace sim

@@ -1,0 +1,26 @@
+// Positive shard-confined fixture: every write to ShardTally state is
+// reached only through dispatches targeting the object's home shard
+// (`shard_`), so the claim `* sim::ShardTally::* verified shard-confined`
+// must prove.
+#pragma once
+
+#include "sim/engine.hpp"
+
+namespace sim {
+
+class ShardTally {
+ public:
+  explicit ShardTally(Engine* engine) : engine_(engine) {}
+
+  void submit(double value);
+
+ private:
+  void apply(double value);
+
+  Engine* engine_;
+  int shard_ = 1;
+  double total_ = 0.0;
+  long count_ = 0;
+};
+
+}  // namespace sim

@@ -446,6 +446,7 @@ TEST(AnalyzeToolTest, SarifIsValidJsonWithOneResultPerFinding) {
   // Every pass's rules are declared as tool.driver.rules.
   for (const char* rule :
        {"arch-config", "arch-cycle", "arch-layering", "arch-unmapped",
+        "conf-cross-shard-write", "conf-stale-claim", "conf-unproven",
         "ipc-blocking-under-lock", "ipc-determinism", "ipc-self-deadlock",
         "lock-callback", "lock-order", "lock-virtual", "shared-state",
         "span-balance", "wall-clock", "unordered-iteration"}) {
@@ -461,18 +462,23 @@ TEST(AnalyzeToolTest, SarifRuleMetadataCarriesDocsAnchorsAndSeverity) {
   const std::string out = testing::TempDir() + "analyze_meta.sarif";
   run_analyze(fixture_args() + " --sarif --output " + out);
   const std::string sarif = read_file(out);
-  // All 17 declared rules carry a fullDescription and a helpUri anchored
+  // All 20 declared rules carry a fullDescription and a helpUri anchored
   // into docs/correctness.md; the three ipc rules and shared-state point
-  // at the interprocedural section.
-  EXPECT_EQ(count_occurrences(sarif, "\"fullDescription\""), 17u);
+  // at the interprocedural section, the three conf rules at the
+  // confinement-proofs section.
+  EXPECT_EQ(count_occurrences(sarif, "\"fullDescription\""), 20u);
   EXPECT_EQ(count_occurrences(sarif, "\"helpUri\": \"docs/correctness.md#"),
-            17u);
+            20u);
   EXPECT_EQ(count_occurrences(
                 sarif,
                 "\"helpUri\": "
                 "\"docs/correctness.md#interprocedural-analysis\""),
             4u);
-  EXPECT_EQ(count_occurrences(sarif, "\"defaultConfiguration\""), 17u);
+  EXPECT_EQ(count_occurrences(
+                sarif,
+                "\"helpUri\": \"docs/correctness.md#confinement-proofs\""),
+            3u);
+  EXPECT_EQ(count_occurrences(sarif, "\"defaultConfiguration\""), 20u);
   // shared-state is the only note-severity rule: its defaultConfiguration
   // plus its two fixture results are the only "note" levels in the
   // document; every other rule and result is level "error".
@@ -564,13 +570,14 @@ TEST(AnalyzeToolTest, ListRulesNamesEveryPassRule) {
   const std::vector<std::string> expected = {
       "arch-config",          "arch-cycle",
       "arch-layering",        "arch-unmapped",
-      "hardware-concurrency", "ipc-blocking-under-lock",
-      "ipc-determinism",      "ipc-self-deadlock",
-      "lock-callback",        "lock-order",
-      "lock-virtual",         "real-sleep",
-      "shared-state",         "span-balance",
-      "unordered-iteration",  "unseeded-random",
-      "wall-clock"};
+      "conf-cross-shard-write", "conf-stale-claim",
+      "conf-unproven",        "hardware-concurrency",
+      "ipc-blocking-under-lock", "ipc-determinism",
+      "ipc-self-deadlock",    "lock-callback",
+      "lock-order",           "lock-virtual",
+      "real-sleep",           "shared-state",
+      "span-balance",         "unordered-iteration",
+      "unseeded-random",      "wall-clock"};
   EXPECT_EQ(result.lines, expected);
 }
 
@@ -744,8 +751,9 @@ TEST(AnalyzeToolTest, ConfinedAnnotationsMarkInventoryEntries) {
   {
     std::ofstream out(confined);
     out << "# reviewed claims\n"
-        << "total_ Tally::accumulate event-confined: one tally per shard\n"
-        << "* Engine::* owner-confined during rounds\n";
+        << "total_ Tally::accumulate assume shard-confined: one tally "
+           "per shard\n"
+        << "* Engine::* assume owner-confined: during rounds\n";
   }
   const std::string report = testing::TempDir() + "analyze_ssr_conf.txt";
   const RunResult result =
@@ -756,14 +764,15 @@ TEST(AnalyzeToolTest, ConfinedAnnotationsMarkInventoryEntries) {
   EXPECT_NE(text.find("# total 2 entries: 2 confined-by-annotation, "
                       "0 unannotated\n"),
             std::string::npos);
-  EXPECT_NE(text.find("\tsim::Tally::accumulate\tevent-confined: one "
+  EXPECT_NE(text.find("\tsim::Tally::accumulate\tshard-confined: one "
                       "tally per shard\n"),
             std::string::npos);
   EXPECT_NE(
-      text.find("\tsim::Engine::step\towner-confined during rounds\n"),
+      text.find("\tsim::Engine::step\towner-confined: during rounds\n"),
       std::string::npos);
 
-  // Malformed annotation lines are a usage error, not silently ignored.
+  // Malformed annotation lines are a usage error, not silently ignored —
+  // with or without a report destination.
   const std::string broken = testing::TempDir() + "analyze_broken.txt";
   {
     std::ofstream out(broken);
@@ -773,6 +782,111 @@ TEST(AnalyzeToolTest, ConfinedAnnotationsMarkInventoryEntries) {
       run_analyze(fixture_args() + " --shared-state-report " + report +
                   " --confined " + broken);
   EXPECT_EQ(bad.exit_code, 2);
+  const RunResult bad_alone =
+      run_analyze(fixture_args() + " --confined " + broken);
+  EXPECT_EQ(bad_alone.exit_code, 2);
+
+  // A bad status column or an unknown claim kind are parse errors too.
+  {
+    std::ofstream out(broken);
+    out << "ticks_ Engine::step maybe owner-confined: who knows\n";
+  }
+  EXPECT_EQ(run_analyze(fixture_args() + " --confined " + broken).exit_code,
+            2);
+  {
+    std::ofstream out(broken);
+    out << "ticks_ Engine::step verified gc-confined: not a kind\n";
+  }
+  EXPECT_EQ(run_analyze(fixture_args() + " --confined " + broken).exit_code,
+            2);
+}
+
+// ---------------------------------------------------------------------------
+// Confinement proofs (tests/analyze_fixtures/conf/)
+// ---------------------------------------------------------------------------
+
+std::string conf_fixtures() { return fixtures() + "/conf"; }
+
+std::string conf_args() {
+  return "--layers " + conf_fixtures() + "/layers.conf --strip-prefix " +
+         conf_fixtures() + "/ " + conf_fixtures() + "/src";
+}
+
+TEST(AnalyzeConfinementTest, CleanClaimsAllProve) {
+  const std::string report = testing::TempDir() + "analyze_conf_clean.txt";
+  const RunResult result = run_analyze(
+      conf_args() + " --confined " + conf_fixtures() +
+      "/confined_clean.txt --confinement-report " + report);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_TRUE(result.lines.empty());
+  const std::string text = read_file(report);
+  EXPECT_NE(text.find("# total 5 claims: 2 proved, 3 assumed, 0 failed\n"),
+            std::string::npos);
+  // The shard-confined proof names the discovered home-shard key and the
+  // owner-confined proof counts its writers.
+  EXPECT_NE(text.find("proved\tverified\tshard-confined\t*\t"
+                      "sim::ShardTally::*\t2\thome=sim::ShardTally::shard_"),
+            std::string::npos);
+  EXPECT_NE(text.find("proved\tverified\towner-confined\t*\t"
+                      "sim::Engine::*\t2\t"),
+            std::string::npos);
+}
+
+TEST(AnalyzeConfinementTest, SeededClaimsFailEveryRule) {
+  const RunResult result = run_analyze(conf_args() + " --confined " +
+                                       conf_fixtures() +
+                                       "/confined_seeded.txt");
+  EXPECT_EQ(result.exit_code, 1);
+  std::string all;
+  for (const std::string& line : result.lines) all += line + "\n";
+  // Mirror: two writers with different single-key contexts.
+  EXPECT_NE(all.find("src/sim/mirror.cpp:6: error: [conf-cross-shard-write]"),
+            std::string::npos);
+  EXPECT_NE(all.find("'sim::Mirror::left_', 'sim::Mirror::right_'"),
+            std::string::npos);
+  // Blend: one writer reached from differently-targeted dispatches.
+  EXPECT_NE(all.find("src/sim/blend.cpp:10: error: [conf-unproven]"),
+            std::string::npos);
+  EXPECT_NE(all.find("'sim::Blend::alpha_', 'sim::Blend::beta_'"),
+            std::string::npos);
+  // Reporter: claimed pinned but reachable from the storm roots, with the
+  // reach chain in the message.
+  EXPECT_NE(all.find("src/sim/report.cpp:5: error: [conf-unproven]"),
+            std::string::npos);
+  EXPECT_NE(all.find("'run_storm' -> 'flush'"), std::string::npos);
+  // Ghost: the stale claim is anchored at its line in the claims file.
+  EXPECT_NE(all.find("confined_seeded.txt:10: error: [conf-stale-claim]"),
+            std::string::npos);
+}
+
+TEST(AnalyzeConfinementTest, JobCountNeverChangesConfinementOutput) {
+  const std::string a = testing::TempDir() + "analyze_conf_jobs1.sarif";
+  const std::string b = testing::TempDir() + "analyze_conf_jobs8.sarif";
+  const std::string args =
+      conf_args() + " --confined " + conf_fixtures() + "/confined_seeded.txt";
+  const RunResult one = run_analyze(args + " --jobs 1 --sarif --output " + a);
+  const RunResult eight =
+      run_analyze(args + " --jobs 8 --sarif --output " + b);
+  EXPECT_EQ(one.exit_code, eight.exit_code);
+  EXPECT_EQ(read_file(a), read_file(b));
+}
+
+// Same invocation scripts/run_analyze.sh uses: every `verified` claim in
+// the committed annotation file must prove against the real tree, with
+// no stale claims.
+TEST(AnalyzeConfinementTest, RepoTreeConfinementProofsHold) {
+  const std::string report = testing::TempDir() + "analyze_conf_repo.txt";
+  const RunResult result = run_command(
+      std::string("cd ") + FLOTILLA_REPO_ROOT + " && " +
+      FLOTILLA_ANALYZE_BIN +
+      " --baseline analyze/baseline.txt --confined analyze/confined.txt"
+      " --confinement-report " +
+      report + " 2>/dev/null");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_TRUE(result.lines.empty());
+  const std::string text = read_file(report);
+  EXPECT_NE(text.find(" 0 failed\n"), std::string::npos);
+  EXPECT_EQ(text.find("\tfailed\t"), std::string::npos);
 }
 
 }  // namespace

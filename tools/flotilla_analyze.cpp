@@ -24,6 +24,12 @@
 //                  reachable from sim::Engine::run, reported at severity
 //                  "note" and inventoried by --shared-state-report
 //                  (shared-state)
+//   confinement    proof obligations from the --confined claims file:
+//                  claims with status "verified" are checked against the
+//                  dispatch model and stale claims are hard errors
+//                  (conf-unproven, conf-cross-shard-write,
+//                  conf-stale-claim); per-claim verdicts dumped by
+//                  --confinement-report
 //
 // Findings can be waived in place (// FLOTILLA_LINT_ALLOW(rule): reason)
 // or grandfathered in a committed baseline (analyze/baseline.txt); CI
@@ -41,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/confine.hpp"
 #include "analyze/determinism.hpp"
 #include "analyze/driver.hpp"
 #include "analyze/ipc.hpp"
@@ -70,8 +77,10 @@ void usage(std::ostream& os) {
         "hardware thread); output is identical for any value\n"
         "  --shared-state-report <file>  also write the unguarded-write "
         "inventory reachable from sim::Engine::run\n"
-        "  --confined <file>    confined annotations (analyze/confined.txt) "
-        "applied to the shared-state report\n"
+        "  --confined <file>    confinement claims (analyze/confined.txt): "
+        "marks the shared-state report and arms the confinement pass\n"
+        "  --confinement-report <file>  also write the per-claim "
+        "confinement-proof verdicts\n"
         "  --list-rules         print every rule id and exit\n";
 }
 
@@ -119,6 +128,8 @@ int main(int argc, char** argv) {
       options.shared_state_report_path = value("--shared-state-report");
     } else if (arg == "--confined") {
       options.confined_path = value("--confined");
+    } else if (arg == "--confinement-report") {
+      options.confinement_report_path = value("--confinement-report");
     } else if (arg == "--list-rules") {
       list_rules = true;
     } else if (arg == "-h" || arg == "--help") {
@@ -150,6 +161,7 @@ int main(int argc, char** argv) {
   registry.add(std::make_unique<fa::IpcLocksPass>());
   registry.add(std::make_unique<fa::IpcDeterminismPass>());
   registry.add(std::make_unique<fa::SharedStatePass>());
+  registry.add(std::make_unique<fa::ConfinementPass>());
 
   if (list_rules) {
     std::vector<std::string> rules;
